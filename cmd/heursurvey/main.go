@@ -1,0 +1,33 @@
+// Heursurvey prints the paper's two survey tables from the live code:
+// Table 1 (the 26 heuristics, their six categories, calculation passes
+// and transitive-arc sensitivity) and Table 2 (the six published
+// scheduling algorithms). Because both are generated from the registry
+// and the algorithm configurations the scheduler actually runs, the
+// survey cannot drift from the implementation.
+//
+// Usage:
+//
+//	heursurvey [-table1] [-table2]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"daginsched/internal/tables"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "print only Table 1")
+	t2 := flag.Bool("table2", false, "print only Table 2")
+	flag.Parse()
+	if !*t1 && !*t2 {
+		*t1, *t2 = true, true
+	}
+	if *t1 {
+		fmt.Println(tables.Table1())
+	}
+	if *t2 {
+		fmt.Println(tables.Table2())
+	}
+}

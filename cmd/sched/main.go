@@ -1,0 +1,119 @@
+// Sched is the end-user instruction scheduler: it reads assembly text,
+// partitions it into basic blocks, builds each block's dependence DAG,
+// schedules it with a chosen algorithm, and writes the rescheduled
+// assembly. With -report it prints per-block cycle accounting instead.
+//
+// Usage:
+//
+//	sched [-algo name] [-model name] [-builder name] [-mem model]
+//	      [-window n] [-report] [file.s]
+//
+// Reading standard input when no file is given. Algorithms are the six
+// of Table 2: gibbons-muchnick, krishnamurthy, schlansker,
+// shieh-papachristou, tiemann, warren; plus "optimal" (branch and
+// bound, small blocks only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"daginsched/internal/core"
+	"daginsched/internal/dag"
+	"daginsched/internal/machine"
+	"daginsched/internal/pipe"
+	"daginsched/internal/resource"
+	"daginsched/internal/sched"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "krishnamurthy", "scheduling algorithm (Table 2 name)")
+		model   = flag.String("model", "pipe1", "machine model: pipe1, fpu, asym, super2")
+		builder = flag.String("builder", "", "DAG builder override: n2f, n2b, tablef, tableb, landskov, tableb-bitmap")
+		mem     = flag.String("mem", "expr", "memory disambiguation: expr, class, single")
+		window  = flag.Int("window", 0, "instruction window (0 = none)")
+		report  = flag.Bool("report", false, "print per-block cycle report instead of assembly")
+		fill    = flag.Bool("fillslots", false, "run the delay-slot scheduler on the output")
+		timing  = flag.Bool("timeline", false, "print a per-block cycle timeline instead of assembly")
+		explain = flag.Bool("explain", false, "print a stall attribution of the scheduled program")
+		ren     = flag.Bool("rename", false, "rename registers to remove WAR/WAW arcs before scheduling")
+		global  = flag.Bool("globalcarry", false, "inherit operation latencies across blocks via the CFG")
+	)
+	flag.Parse()
+
+	p := core.Default()
+	var ok bool
+	if p.Machine, ok = machine.ByName(*model); !ok {
+		fail("unknown machine model %q", *model)
+	}
+	var err error
+	if p.Algorithm, err = sched.AlgorithmByName(*algo); err != nil {
+		fail("%v", err)
+	}
+	if *builder != "" {
+		if p.Builder, ok = dag.ByName(*builder); !ok {
+			fail("unknown builder %q", *builder)
+		}
+	}
+	switch *mem {
+	case "expr":
+		p.MemModel = resource.MemExprModel
+	case "class":
+		p.MemModel = resource.MemClassModel
+	case "single":
+		p.MemModel = resource.MemSingleModel
+	default:
+		fail("unknown memory model %q", *mem)
+	}
+	p.Window = *window
+	p.FillSlots = *fill
+	p.Rename = *ren
+	p.GlobalCarry = *global
+
+	src, err := readInput(flag.Args())
+	if err != nil {
+		fail("%v", err)
+	}
+	out, res, err := p.ScheduleAsm(src)
+	if err != nil {
+		fail("%v", err)
+	}
+	switch {
+	case *report:
+		fmt.Print(res.Report())
+		if *fill {
+			fmt.Printf("delay slots filled: %d\n", res.SlotsFilled)
+		}
+	case *timing:
+		for _, br := range res.Blocks {
+			fmt.Printf("block %s:\n", br.Block.Name)
+			fmt.Print(sched.Timeline(br.DAG, p.Machine, br.Schedule))
+			fmt.Println()
+		}
+	case *explain:
+		insts := res.Insts()
+		rt := resource.NewTable(p.MemModel)
+		rt.PrepareBlock(insts)
+		det := pipe.Explain(insts, nil, p.Machine, rt)
+		fmt.Print(det.Report(insts, nil))
+	default:
+		fmt.Print(out)
+	}
+}
+
+func readInput(args []string) (string, error) {
+	if len(args) == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(args[0])
+	return string(b), err
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sched: "+format+"\n", args...)
+	os.Exit(2)
+}

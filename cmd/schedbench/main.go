@@ -1,0 +1,132 @@
+// Schedbench regenerates the experimental tables of Smotherman et al.
+// (MICRO-24, 1991): Table 3 (benchmark structure), Table 4 (the n²
+// construction approach), Table 5 (the two table-building approaches)
+// and the Figure 1 transitive-arc demonstration.
+//
+// Usage:
+//
+//	schedbench [-table3] [-table4] [-table5] [-fig1] [-all]
+//	           [-model pipe1|fpu|asym|super2] [-runs 5] [-bench name]
+//
+// With no table flags, -all is assumed. As in the paper, Table 4 stops
+// at fpppp-1000: the n² approach's "excessive time and space
+// requirements" are the point being demonstrated, and the instruction
+// window caps them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"daginsched/internal/machine"
+	"daginsched/internal/tables"
+)
+
+func main() {
+	var (
+		t3      = flag.Bool("table3", false, "print Table 3 (structural data)")
+		t4      = flag.Bool("table4", false, "print Table 4 (n**2 approach)")
+		t5      = flag.Bool("table5", false, "print Table 5 (table-building approaches)")
+		fig1    = flag.Bool("fig1", false, "print the Figure 1 demonstration")
+		quality = flag.Bool("quality", false, "print the cross-algorithm quality comparison")
+		optim   = flag.Bool("optimality", false, "print the branch-and-bound optimality study (future work 1)")
+		winners = flag.Bool("winners", false, "print the best-algorithm-by-block-size study (future work 2)")
+		scaling = flag.Bool("scaling", false, "print the DAG-construction scaling study (single growing block)")
+		ablate  = flag.Bool("ablate", false, "print the per-rank heuristic ablation study")
+		maxBB   = flag.Int("maxbb", 12, "block-size cap for the optimality study")
+		all     = flag.Bool("all", false, "print everything")
+		model   = flag.String("model", "pipe1", "machine model (pipe1, fpu, asym, super2)")
+		runs    = flag.Int("runs", 5, "timing runs to average (the paper used five)")
+		bench   = flag.String("bench", "", "restrict to one benchmark (prefix match)")
+	)
+	flag.Parse()
+	if !*t3 && !*t4 && !*t5 && !*fig1 && !*quality && !*optim && !*winners && !*scaling && !*ablate {
+		*all = true
+	}
+	m, ok := machine.ByName(*model)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "schedbench: unknown machine model %q\n", *model)
+		os.Exit(2)
+	}
+
+	sets := tables.Table3Sets()
+	if *bench != "" {
+		var filtered []tables.BenchmarkSet
+		for _, s := range sets {
+			if strings.HasPrefix(s.Name, *bench) {
+				filtered = append(filtered, s)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "schedbench: no benchmark matches %q\n", *bench)
+			os.Exit(2)
+		}
+		sets = filtered
+	}
+
+	if *all || *fig1 {
+		fmt.Println(tables.Figure1(m))
+	}
+	if *all || *t3 {
+		fmt.Println(tables.Table3(sets))
+	}
+	if *all || *t4 {
+		// The paper did not run n² past a 1000-instruction window.
+		var t4sets []tables.BenchmarkSet
+		for _, s := range sets {
+			if s.Name == "fpppp" || s.Name == "fpppp-2000" || s.Name == "fpppp-4000" {
+				continue
+			}
+			t4sets = append(t4sets, s)
+		}
+		fmt.Println(tables.Table4(t4sets, m, *runs))
+	}
+	if *all || *t5 {
+		fmt.Println(tables.Table5(sets, m, *runs))
+	}
+	if *quality {
+		// The n²-based algorithms make full fpppp impractical; keep the
+		// quality race to windowed sets, like Table 4.
+		var qsets []tables.BenchmarkSet
+		for _, s := range sets {
+			if s.Name == "fpppp" || s.Name == "fpppp-2000" || s.Name == "fpppp-4000" {
+				continue
+			}
+			qsets = append(qsets, s)
+		}
+		fmt.Println(tables.QualityTable(qsets, m))
+	}
+	if *optim {
+		var osets []tables.BenchmarkSet
+		for _, s := range sets {
+			if !strings.HasPrefix(s.Name, "fpppp-") {
+				osets = append(osets, s)
+			}
+		}
+		fmt.Println(tables.OptimalityTable(osets, m, *maxBB))
+	}
+	if *scaling {
+		fmt.Println(tables.ScalingTable(m, nil, *runs))
+	}
+	if *ablate {
+		var asets []tables.BenchmarkSet
+		for _, s := range sets {
+			if !strings.HasPrefix(s.Name, "fpppp") {
+				asets = append(asets, s)
+			}
+		}
+		fmt.Println(tables.AblationTable(asets, m))
+	}
+	if *winners {
+		var wsets []tables.BenchmarkSet
+		for _, s := range sets {
+			if s.Name == "fpppp" || s.Name == "fpppp-2000" || s.Name == "fpppp-4000" {
+				continue
+			}
+			wsets = append(wsets, s)
+		}
+		fmt.Println(tables.WinnersBySize(wsets, m))
+	}
+}

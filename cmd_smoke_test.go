@@ -1,0 +1,106 @@
+// Smoke tests for the command-line tools: each binary is exercised
+// through `go run` with its common flag combinations. Slow (compiles
+// each tool), so skipped under -short.
+package daginsched_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runTool runs `go run ./cmd/<tool> args...` with optional stdin.
+func runTool(t *testing.T, stdin string, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + tool}, args...)...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+const smokeAsm = `
+top:
+	ld [%fp-4], %o0
+	add %o0, 1, %o1
+	mov 9, %l7
+	cmp %o1, 0
+	bne top
+	nop
+`
+
+func TestSmokeSched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short mode")
+	}
+	out := runTool(t, smokeAsm, "sched", "-report")
+	if !strings.Contains(out, "total:") {
+		t.Errorf("sched -report:\n%s", out)
+	}
+	out = runTool(t, smokeAsm, "sched", "-algo", "warren", "-model", "super2")
+	if !strings.Contains(out, "top:") {
+		t.Errorf("sched asm output:\n%s", out)
+	}
+	out = runTool(t, smokeAsm, "sched", "-timeline")
+	if !strings.Contains(out, "cycle") {
+		t.Errorf("sched -timeline:\n%s", out)
+	}
+	out = runTool(t, smokeAsm, "sched", "-explain")
+	if !strings.Contains(out, "cycles") {
+		t.Errorf("sched -explain:\n%s", out)
+	}
+	out = runTool(t, smokeAsm, "sched", "-fillslots", "-report")
+	if !strings.Contains(out, "delay slots filled: 1") {
+		t.Errorf("sched -fillslots:\n%s", out)
+	}
+	out = runTool(t, smokeAsm, "sched", "-rename", "-globalcarry", "-mem", "class")
+	if !strings.Contains(out, "top:") {
+		t.Errorf("sched flag combo:\n%s", out)
+	}
+}
+
+func TestSmokeHeursurvey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short mode")
+	}
+	out := runTool(t, "", "heursurvey")
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Table 2") {
+		t.Errorf("heursurvey:\n%s", out[:200])
+	}
+}
+
+func TestSmokeDagstat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short mode")
+	}
+	out := runTool(t, "", "dagstat", "-bench", "grep", "-builders", "tablef,landskov")
+	if !strings.Contains(out, "tablef") || !strings.Contains(out, "landskov") {
+		t.Errorf("dagstat:\n%s", out)
+	}
+	out = runTool(t, "", "dagstat", "-bench", "grep", "-dot")
+	if !strings.Contains(out, "digraph") {
+		t.Errorf("dagstat -dot:\n%s", out)
+	}
+}
+
+func TestSmokeSchedbench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short mode")
+	}
+	out := runTool(t, "", "schedbench", "-table3", "-bench", "grep")
+	if !strings.Contains(out, "grep") || !strings.Contains(out, "730") {
+		t.Errorf("schedbench -table3:\n%s", out)
+	}
+	out = runTool(t, "", "schedbench", "-fig1")
+	if !strings.Contains(out, "Figure 1") {
+		t.Errorf("schedbench -fig1:\n%s", out)
+	}
+	out = runTool(t, "", "schedbench", "-table5", "-runs", "1", "-bench", "grep")
+	if !strings.Contains(out, "fwd(s)") {
+		t.Errorf("schedbench -table5:\n%s", out)
+	}
+}

@@ -1,0 +1,12 @@
+// Package daginsched reproduces "Efficient DAG Construction and
+// Heuristic Calculation for Instruction Scheduling" (Smotherman,
+// Krishnamurthy, Aravind, Hunnicutt; MICRO-24, 1991).
+//
+// The library lives under internal/: see internal/core for the
+// high-level pipeline, internal/dag for the construction algorithms,
+// internal/heur for the 26-heuristic survey, and internal/sched for the
+// six published scheduling algorithms. DESIGN.md maps every paper
+// artifact to its module; EXPERIMENTS.md records reproduced results.
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation.
+package daginsched

@@ -1,0 +1,131 @@
+// Prepass demonstrates the register-usage heuristics (Table 1's sixth
+// category) in before-register-allocation scheduling, and shows how to
+// assemble a custom algorithm from the heuristic registry.
+//
+// Three schedulers run over a block of independent load/add/store
+// chains:
+//
+//   - Shieh & Papachristou: pure critical-path ILP, no register
+//     awareness — it front-loads every load, maximizing live values;
+//   - Warren: ILP first, register liveness as the rank-4 tiebreak;
+//   - a custom "pressure" algorithm built here from the registry:
+//     liveness and #registers-killed outrank the critical path, the
+//     configuration a compiler would use when spills are expensive.
+//
+// The output reports cycles and peak register pressure for each — the
+// prepass trade-off Section 3 describes: "it is more advantageous to
+// postpone scheduling of an instruction that increases the register
+// pressure."
+//
+//	go run ./examples/prepass
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daginsched/internal/asm"
+	"daginsched/internal/core"
+	"daginsched/internal/dag"
+	"daginsched/internal/heur"
+	"daginsched/internal/isa"
+	"daginsched/internal/sched"
+)
+
+const src = `
+hot:
+	ld [%fp-4], %o0
+	ld [%fp-8], %o1
+	ld [%fp-12], %o2
+	ld [%fp-16], %o3
+	add %o0, 1, %l0
+	st %l0, [%fp-20]
+	add %o1, 2, %l1
+	st %l1, [%fp-24]
+	add %o2, 3, %l2
+	st %l2, [%fp-28]
+	add %o3, 4, %l3
+	st %l3, [%fp-32]
+`
+
+// pressureFirst is a prepass scheduler assembled from Table 1 rows:
+// shrink liveness first, prefer killers, then fall back to the critical
+// path and program order.
+func pressureFirst() *sched.Algorithm {
+	return &sched.Algorithm{
+		Name:         "pressure-first",
+		Cite:         "custom (this example)",
+		Construction: dag.TableForward{},
+		SchedDir:     dag.Forward,
+		Combine:      sched.WinnowKind,
+		Ranked: []sched.RankedKey{
+			{Key: heur.Liveness, Min: true},
+			{Key: heur.RegsKilled},
+			{Key: heur.MaxDelayToLeaf},
+			{Key: heur.OriginalOrder, Min: true},
+		},
+	}
+}
+
+// maxPressure returns the peak number of simultaneously live register
+// values across the schedule.
+func maxPressure(insts []isa.Inst) int {
+	lastUse := map[isa.Reg]int{}
+	for i, in := range insts {
+		for _, u := range in.Uses() {
+			if u.Kind == isa.RReg || u.Kind == isa.RFReg {
+				lastUse[u.Reg] = i
+			}
+		}
+	}
+	live := map[isa.Reg]int{}
+	peak := 0
+	for i, in := range insts {
+		for _, d := range in.Defs() {
+			if d.Kind != isa.RReg && d.Kind != isa.RFReg {
+				continue
+			}
+			if end, ok := lastUse[d.Reg]; ok && end > i {
+				live[d.Reg] = end
+			}
+		}
+		if len(live) > peak {
+			peak = len(live)
+		}
+		for r, end := range live {
+			if end <= i {
+				delete(live, r)
+			}
+		}
+	}
+	return peak
+}
+
+func main() {
+	orig, err := asm.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %8s %10s\n", "scheduler", "cycles", "pressure")
+	for _, algo := range []*sched.Algorithm{
+		nil, sched.ShiehPapachristou(), sched.Warren(), pressureFirst(),
+	} {
+		p := core.Default()
+		name := "program order"
+		if algo != nil {
+			p.Algorithm = algo
+			name = algo.Name
+		}
+		res := p.ScheduleProgram(orig)
+		cycles := res.Cycles
+		insts := res.Insts()
+		if algo == nil {
+			cycles = res.Baseline
+			insts = orig
+		}
+		fmt.Printf("%-22s %8d %10d\n", name, cycles, maxPressure(insts))
+	}
+	fmt.Println("\nThe pressure-first prepass keeps fewer values live (ready for a")
+	fmt.Println("tight register allocator) at the cost of some stall cycles; the")
+	fmt.Println("ILP-first algorithms make the opposite trade.")
+}

@@ -1,0 +1,63 @@
+// Superscalar demonstrates the "alternate type" heuristic on a 2-issue
+// machine (one integer-side + one FP-side instruction per cycle). The
+// input interleaves poorly — all integer work first, then all FP work —
+// so program order dual-issues almost nothing. Warren's algorithm,
+// whose rank-2 heuristic is alternate type, reorders the stream so
+// pairs form nearly every cycle.
+//
+//	go run ./examples/superscalar
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daginsched/internal/core"
+	"daginsched/internal/machine"
+	"daginsched/internal/sched"
+)
+
+const src = `
+kernel:
+	ld [%fp-4], %o0
+	add %o0, 1, %o1
+	sll %o1, 2, %o2
+	sub %o2, 3, %o3
+	xor %o3, %o1, %o4
+	lddf [%sp+64], %f2
+	faddd %f2, %f4, %f6
+	fmuld %f6, %f8, %f10
+	fsubd %f10, %f2, %f12
+	stdf %f12, [%sp+72]
+`
+
+func main() {
+	for _, cfg := range []struct {
+		name string
+		algo *sched.Algorithm
+	}{
+		{"program order (baseline)", nil},
+		{"warren (alternate type at rank 2)", sched.Warren()},
+	} {
+		p := core.Default()
+		p.Machine = machine.Super2()
+		if cfg.algo != nil {
+			p.Algorithm = cfg.algo
+		}
+		out, res, err := p.ScheduleAsm(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		br := res.Blocks[0]
+		cycles := br.Schedule.Cycles
+		if cfg.algo == nil {
+			cycles = br.Baseline.Cycles
+		} else {
+			fmt.Println("scheduled stream:")
+			fmt.Print(out)
+		}
+		fmt.Printf("%-36s %d cycles\n\n", cfg.name+":", cycles)
+	}
+	fmt.Println("Interleaving int/FP lets the 2-issue front end pair instructions;")
+	fmt.Println("the alternate-type heuristic is what drives the interleaving.")
+}

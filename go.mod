@@ -1,0 +1,3 @@
+module daginsched
+
+go 1.22

@@ -1,0 +1,398 @@
+// Package asm parses and prints the SPARC-like textual assembly of
+// package isa. The dialect follows SunOS assembler output — the format
+// of the paper's benchmark inputs ("cc -O4 -S") — restricted to the
+// opcodes the ISA defines:
+//
+//	! comment
+//	label:
+//	        ld      [%fp-8], %o0
+//	        add     %o0, 1, %o1
+//	        sethi   %hi(4096), %g1
+//	        st      %o1, [_counter]
+//	        bne,a   .L77
+//	        nop
+//
+// The parser is line-oriented; a label may share a line with an
+// instruction. Errors carry line numbers.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"daginsched/internal/isa"
+)
+
+// ParseError is a parse failure with its source line.
+type ParseError struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s (%q)", e.Line, e.Msg, e.Text)
+}
+
+// Parse assembles a program. Labels attach to the following
+// instruction; directives (lines starting with '.') and comments are
+// skipped.
+func Parse(src string) ([]isa.Inst, error) {
+	var out []isa.Inst
+	pendingLabel := ""
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '!'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading label(s).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 || strings.ContainsAny(line[:i], " \t,[") {
+				break
+			}
+			pendingLabel = line[:i]
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") && !strings.HasPrefix(line, ".L") {
+			continue // assembler directive
+		}
+		in, err := parseInst(line)
+		if err != nil {
+			return nil, &ParseError{Line: ln + 1, Text: raw, Msg: err.Error()}
+		}
+		in.Label = pendingLabel
+		pendingLabel = ""
+		in.Index = len(out)
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// parseInst assembles one instruction line (no label, no comment).
+func parseInst(line string) (isa.Inst, error) {
+	mnem := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	annul := false
+	if strings.HasSuffix(mnem, ",a") {
+		annul = true
+		mnem = strings.TrimSuffix(mnem, ",a")
+	}
+	op, ok := isa.OpcodeByName(mnem)
+	if !ok {
+		return isa.Inst{}, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	ops := splitOperands(rest)
+	in := isa.Inst{Op: op, RS1: isa.RegNone, RS2: isa.RegNone, RD: isa.RegNone,
+		Mem: isa.NoMem, Annul: annul}
+	if annul && !op.IsBranch() {
+		return in, fmt.Errorf("%q cannot be annulled", mnem)
+	}
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	switch op.Format() {
+	case isa.FmtNone:
+		return in, need(0)
+	case isa.Fmt3:
+		switch op {
+		case isa.MOV: // mov rs2|imm, rd
+			if err := need(2); err != nil {
+				return in, err
+			}
+			in.RS1 = isa.G0
+			if err := parseRegOrImm(ops[0], &in); err != nil {
+				return in, err
+			}
+			return in, parseRegInto(ops[1], &in.RD)
+		case isa.CMP: // cmp rs1, rs2|imm
+			if err := need(2); err != nil {
+				return in, err
+			}
+			in.RD = isa.G0
+			if err := parseRegInto(ops[0], &in.RS1); err != nil {
+				return in, err
+			}
+			return in, parseRegOrImm(ops[1], &in)
+		}
+		if op == isa.RESTORE && len(ops) == 0 { // bare restore
+			in.RS1, in.RS2, in.RD = isa.G0, isa.G0, isa.G0
+			return in, nil
+		}
+		if err := need(3); err != nil {
+			return in, err
+		}
+		if err := parseRegInto(ops[0], &in.RS1); err != nil {
+			return in, err
+		}
+		if err := parseRegOrImm(ops[1], &in); err != nil {
+			return in, err
+		}
+		return in, parseRegInto(ops[2], &in.RD)
+	case isa.FmtLoad:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		mem, err := parseMem(ops[0])
+		if err != nil {
+			return in, err
+		}
+		in.Mem = mem
+		return in, parseRegInto(ops[1], &in.RD)
+	case isa.FmtStore:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		if err := parseRegInto(ops[0], &in.RD); err != nil {
+			return in, err
+		}
+		mem, err := parseMem(ops[1])
+		in.Mem = mem
+		return in, err
+	case isa.FmtBranch, isa.FmtCall:
+		if err := need(1); err != nil {
+			return in, err
+		}
+		in.Target = ops[0]
+		return in, nil
+	case isa.FmtSethi:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		v, err := parseHi(ops[0])
+		if err != nil {
+			return in, err
+		}
+		in.Imm, in.HasImm = v, true
+		return in, parseRegInto(ops[1], &in.RD)
+	case isa.FmtFp2:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		if err := parseRegInto(ops[0], &in.RS2); err != nil {
+			return in, err
+		}
+		return in, parseRegInto(ops[1], &in.RD)
+	case isa.FmtFp3:
+		if err := need(3); err != nil {
+			return in, err
+		}
+		if err := parseRegInto(ops[0], &in.RS1); err != nil {
+			return in, err
+		}
+		if err := parseRegInto(ops[1], &in.RS2); err != nil {
+			return in, err
+		}
+		return in, parseRegInto(ops[2], &in.RD)
+	case isa.FmtFcmp:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		if err := parseRegInto(ops[0], &in.RS1); err != nil {
+			return in, err
+		}
+		return in, parseRegInto(ops[1], &in.RS2)
+	case isa.FmtJmpl:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		base, off, err := parseBasePlusOffset(ops[0])
+		if err != nil {
+			return in, err
+		}
+		in.RS1, in.Imm, in.HasImm = base, off, true
+		return in, parseRegInto(ops[1], &in.RD)
+	case isa.FmtRdY:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		if ops[0] != "%y" {
+			return in, fmt.Errorf("rd reads %%y, got %q", ops[0])
+		}
+		return in, parseRegInto(ops[1], &in.RD)
+	}
+	return in, fmt.Errorf("unhandled format for %q", mnem)
+}
+
+// splitOperands splits on commas outside brackets.
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func parseRegInto(s string, dst *isa.Reg) error {
+	r, err := isa.ParseReg(s)
+	if err != nil {
+		return err
+	}
+	*dst = r
+	return nil
+}
+
+// parseRegOrImm fills RS2 or Imm from the second ALU operand.
+func parseRegOrImm(s string, in *isa.Inst) error {
+	if strings.HasPrefix(s, "%") {
+		return parseRegInto(s, &in.RS2)
+	}
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return fmt.Errorf("bad immediate %q", s)
+	}
+	in.Imm, in.HasImm = int32(v), true
+	return nil
+}
+
+// parseHi parses "%hi(123)" or a bare integer.
+func parseHi(s string) (int32, error) {
+	if strings.HasPrefix(s, "%hi(") && strings.HasSuffix(s, ")") {
+		s = s[4 : len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad sethi operand %q", s)
+	}
+	return int32(v), nil
+}
+
+// parseBasePlusOffset parses "%i7+8".
+func parseBasePlusOffset(s string) (isa.Reg, int32, error) {
+	i := strings.IndexAny(s, "+-")
+	if i < 0 {
+		r, err := isa.ParseReg(s)
+		return r, 0, err
+	}
+	r, err := isa.ParseReg(s[:i])
+	if err != nil {
+		return isa.RegNone, 0, err
+	}
+	v, err := strconv.ParseInt(s[i:], 0, 32)
+	if err != nil {
+		return isa.RegNone, 0, fmt.Errorf("bad offset %q", s[i:])
+	}
+	return r, int32(v), nil
+}
+
+// parseMem parses "[%fp-8]", "[%o0+%o1]", "[_sym]", "[_sym+%g1+4]".
+func parseMem(s string) (isa.MemExpr, error) {
+	m := isa.NoMem
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return m, fmt.Errorf("bad memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	// Split into +/- separated terms, keeping signs on numbers.
+	terms := splitTerms(body)
+	if len(terms) == 0 {
+		return m, fmt.Errorf("empty memory operand %q", s)
+	}
+	for _, term := range terms {
+		switch {
+		case strings.HasPrefix(term, "%"):
+			r, err := isa.ParseReg(term)
+			if err != nil {
+				return m, err
+			}
+			if m.Base == isa.RegNone {
+				m.Base = r
+			} else if m.Index == isa.RegNone {
+				m.Index = r
+			} else {
+				return m, fmt.Errorf("too many registers in %q", s)
+			}
+		case term[0] == '+' || term[0] == '-' || (term[0] >= '0' && term[0] <= '9'):
+			v, err := strconv.ParseInt(term, 0, 32)
+			if err != nil {
+				return m, fmt.Errorf("bad displacement %q", term)
+			}
+			m.Offset += int32(v)
+		default:
+			if m.Sym != "" {
+				return m, fmt.Errorf("two symbols in %q", s)
+			}
+			m.Sym = term
+		}
+	}
+	if m.Sym == "" && m.Base == isa.RegNone {
+		return m, fmt.Errorf("memory operand %q has no base or symbol", s)
+	}
+	if m.Sym != "" && m.Base == isa.RegNone {
+		m.Base = isa.G0
+	}
+	return m, nil
+}
+
+// splitTerms splits "a+%g1-8" into ["a", "%g1", "-8"].
+func splitTerms(s string) []string {
+	var out []string
+	start := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			out = append(out, strings.TrimSpace(s[start:i]))
+			if s[i] == '+' {
+				start = i + 1
+			} else {
+				start = i
+			}
+			i++ // skip sign character in next scan step
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	// Drop empties (leading '+').
+	var clean []string
+	for _, t := range out {
+		if t != "" && t != "+" {
+			clean = append(clean, t)
+		}
+	}
+	return clean
+}
+
+// Print renders a program back to assembly text, one instruction per
+// line with labels on their own lines.
+func Print(insts []isa.Inst) string {
+	var b strings.Builder
+	for i := range insts {
+		if insts[i].Label != "" {
+			b.WriteString(insts[i].Label)
+			b.WriteString(":\n")
+		}
+		b.WriteString("\t")
+		b.WriteString(insts[i].String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,250 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"daginsched/internal/isa"
+	"daginsched/internal/testgen"
+)
+
+func parseOne(t *testing.T, line string) isa.Inst {
+	t.Helper()
+	prog, err := Parse(line)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", line, err)
+	}
+	if len(prog) != 1 {
+		t.Fatalf("Parse(%q): %d instructions", line, len(prog))
+	}
+	return prog[0]
+}
+
+func TestParseALU(t *testing.T) {
+	in := parseOne(t, "\tadd %o0, %o1, %o2")
+	if in.Op != isa.ADD || in.RS1 != isa.O0 || in.RS2 != isa.O1 || in.RD != isa.O2 {
+		t.Errorf("parsed %+v", in)
+	}
+	imm := parseOne(t, "sub %l0, 16, %l1")
+	if !imm.HasImm || imm.Imm != 16 {
+		t.Errorf("parsed %+v", imm)
+	}
+	neg := parseOne(t, "add %sp, -96, %sp")
+	if neg.Imm != -96 {
+		t.Errorf("negative immediate: %+v", neg)
+	}
+}
+
+func TestParseSynthetic(t *testing.T) {
+	mov := parseOne(t, "mov 55, %l1")
+	if mov.Op != isa.MOV || mov.RS1 != isa.G0 || mov.Imm != 55 || mov.RD != isa.L1 {
+		t.Errorf("mov: %+v", mov)
+	}
+	movr := parseOne(t, "mov %g2, %o0")
+	if movr.RS2 != isa.G2 || movr.HasImm {
+		t.Errorf("mov reg: %+v", movr)
+	}
+	cmp := parseOne(t, "cmp %o0, 7")
+	if cmp.Op != isa.CMP || cmp.RD != isa.G0 || cmp.Imm != 7 {
+		t.Errorf("cmp: %+v", cmp)
+	}
+}
+
+func TestParseMemory(t *testing.T) {
+	ld := parseOne(t, "ld [%fp-8], %o0")
+	if ld.Mem.Base != isa.FP || ld.Mem.Offset != -8 || ld.RD != isa.O0 {
+		t.Errorf("ld: %+v", ld)
+	}
+	st := parseOne(t, "st %o0, [%sp+64]")
+	if st.Mem.Base != isa.SP || st.Mem.Offset != 64 || st.RD != isa.O0 {
+		t.Errorf("st: %+v", st)
+	}
+	idx := parseOne(t, "ld [%o0+%o1], %o2")
+	if idx.Mem.Base != isa.O0 || idx.Mem.Index != isa.O1 {
+		t.Errorf("indexed: %+v", idx)
+	}
+	sym := parseOne(t, "ld [_errno], %o0")
+	if sym.Mem.Sym != "_errno" || sym.Mem.Base != isa.G0 {
+		t.Errorf("symbol: %+v", sym)
+	}
+	symoff := parseOne(t, "st %g1, [_tab+%g2+12]")
+	if symoff.Mem.Sym != "_tab" || symoff.Mem.Base != isa.G2 || symoff.Mem.Offset != 12 {
+		t.Errorf("symbol+reg+off: %+v", symoff)
+	}
+}
+
+func TestParseBranchesAndCalls(t *testing.T) {
+	br := parseOne(t, "bne .L77")
+	if br.Op != isa.BNE || br.Target != ".L77" || br.Annul {
+		t.Errorf("bne: %+v", br)
+	}
+	ann := parseOne(t, "be,a .L9")
+	if !ann.Annul {
+		t.Errorf("annul flag lost: %+v", ann)
+	}
+	call := parseOne(t, "call _printf")
+	if call.Op != isa.CALL || call.Target != "_printf" {
+		t.Errorf("call: %+v", call)
+	}
+	ret := parseOne(t, "ret")
+	if ret.Op != isa.RET {
+		t.Errorf("ret: %+v", ret)
+	}
+	jmpl := parseOne(t, "jmpl %i7+8, %g0")
+	if jmpl.RS1 != isa.I7 || jmpl.Imm != 8 || jmpl.RD != isa.G0 {
+		t.Errorf("jmpl: %+v", jmpl)
+	}
+}
+
+func TestParseFP(t *testing.T) {
+	f3 := parseOne(t, "faddd %f0, %f2, %f4")
+	if f3.Op != isa.FADDD || f3.RS1 != isa.F(0) || f3.RS2 != isa.F(2) || f3.RD != isa.F(4) {
+		t.Errorf("faddd: %+v", f3)
+	}
+	f2 := parseOne(t, "fmovs %f1, %f3")
+	if f2.RS2 != isa.F(1) || f2.RD != isa.F(3) {
+		t.Errorf("fmovs: %+v", f2)
+	}
+	fc := parseOne(t, "fcmpd %f0, %f2")
+	if fc.RS1 != isa.F(0) || fc.RS2 != isa.F(2) {
+		t.Errorf("fcmpd: %+v", fc)
+	}
+}
+
+func TestParseSethi(t *testing.T) {
+	in := parseOne(t, "sethi %hi(4096), %g1")
+	if in.Op != isa.SETHI || in.Imm != 4096 || in.RD != isa.G1 {
+		t.Errorf("sethi: %+v", in)
+	}
+}
+
+func TestParseMisc(t *testing.T) {
+	if parseOne(t, "nop").Op != isa.NOP {
+		t.Error("nop")
+	}
+	save := parseOne(t, "save %sp, -96, %sp")
+	if save.Op != isa.SAVE || save.Imm != -96 {
+		t.Errorf("save: %+v", save)
+	}
+	if parseOne(t, "restore").Op != isa.RESTORE {
+		t.Error("bare restore")
+	}
+	rdy := parseOne(t, "rd %y, %o3")
+	if rdy.Op != isa.RDY || rdy.RD != isa.O3 {
+		t.Errorf("rd: %+v", rdy)
+	}
+}
+
+func TestParseLabelsAndComments(t *testing.T) {
+	src := `
+! leading comment
+.text
+.L5:	add %o0, 1, %o0   ! trailing comment
+	bne .L5
+	nop
+done:
+	ret
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 4 {
+		t.Fatalf("parsed %d instructions", len(prog))
+	}
+	if prog[0].Label != ".L5" || prog[3].Label != "done" {
+		t.Errorf("labels: %q %q", prog[0].Label, prog[3].Label)
+	}
+	if prog[0].Index != 0 || prog[3].Index != 3 {
+		t.Error("indices not assigned")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate %o0",
+		"add %o0, %o1",
+		"add %q9, %o1, %o2",
+		"ld %o0, %o1",
+		"ld [], %o0",
+		"mov,a 5, %o0",
+		"rd %o1, %o2",
+		"sethi %hi(x), %g1",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		} else if pe, ok := err.(*ParseError); !ok || pe.Line != 1 {
+			t.Errorf("Parse(%q): error without line info: %v", c, err)
+		}
+	}
+}
+
+func TestRoundTripHandwritten(t *testing.T) {
+	src := strings.Join([]string{
+		"L0:",
+		"\tsave %sp, -96, %sp",
+		"\tsethi %hi(4096), %g1",
+		"\tld [%fp-8], %o0",
+		"\tlddf [%sp+64], %f2",
+		"\tmov 7, %o1",
+		"\tcmp %o0, %o1",
+		"\tfaddd %f2, %f4, %f6",
+		"\tstdf %f6, [%sp+72]",
+		"\tbne,a L0",
+		"\tadd %o0, 1, %o0",
+		"\tret",
+		"\trestore %g0, %g0, %g0",
+	}, "\n") + "\n"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(prog)
+	again, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if len(again) != len(prog) {
+		t.Fatalf("round trip changed length %d -> %d", len(prog), len(again))
+	}
+	for i := range prog {
+		a, b := prog[i], again[i]
+		a.Index, b.Index = 0, 0
+		if a != b {
+			t.Errorf("inst %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		prog := testgen.Block(seed, 40)
+		printed := Print(prog)
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, printed)
+		}
+		if len(again) != len(prog) {
+			t.Fatalf("seed %d: length %d -> %d", seed, len(prog), len(again))
+		}
+		for i := range prog {
+			a, b := prog[i], again[i]
+			a.Index, b.Index = 0, 0
+			if a != b {
+				t.Errorf("seed %d inst %d: %+v != %+v (%s)", seed, i, a, b, prog[i].String())
+			}
+		}
+	}
+}
+
+func TestPrintLabels(t *testing.T) {
+	prog := []isa.Inst{
+		{Op: isa.NOP, RS1: isa.RegNone, RS2: isa.RegNone, RD: isa.RegNone,
+			Mem: isa.NoMem, Label: "entry"},
+	}
+	out := Print(prog)
+	if !strings.Contains(out, "entry:\n") {
+		t.Errorf("Print output %q lacks label line", out)
+	}
+}

@@ -1,0 +1,165 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"daginsched/internal/isa"
+	"daginsched/internal/testgen"
+)
+
+// TestParseNeverPanics: arbitrary byte soup must produce either
+// instructions or an error, never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// asmAlphabet biases random inputs toward assembler-shaped text so the
+// fuzz reaches deeper into operand parsing than raw bytes would.
+const asmAlphabet = "adlmovstbnexorcmp %[]+-,.!:_0123456789fgi\n\t()"
+
+func TestParseNeverPanicsAsmShaped(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 3000; trial++ {
+		var b strings.Builder
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			b.WriteByte(asmAlphabet[rng.Intn(len(asmAlphabet))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestParseMutatedValidPrograms: corrupting one byte of a valid program
+// must never panic and must either parse or report a line number.
+func TestParseMutatedValidPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for seed := int64(0); seed < 10; seed++ {
+		src := Print(testgen.Block(seed, 20))
+		for trial := 0; trial < 100; trial++ {
+			b := []byte(src)
+			b[rng.Intn(len(b))] = asmAlphabet[rng.Intn(len(asmAlphabet))]
+			mutated := string(b)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("Parse of mutated program panicked: %v\n%s", r, mutated)
+					}
+				}()
+				if _, err := Parse(mutated); err != nil {
+					pe, ok := err.(*ParseError)
+					if !ok {
+						t.Fatalf("non-ParseError from Parse: %v", err)
+					}
+					if pe.Line < 1 || pe.Line > strings.Count(mutated, "\n")+1 {
+						t.Fatalf("bad line number %d", pe.Line)
+					}
+				}
+			}()
+		}
+	}
+}
+
+// canonicalInst builds one representative instruction per opcode.
+func canonicalInst(op isa.Opcode) isa.Inst {
+	switch op.Format() {
+	case isa.FmtNone:
+		return isa.Inst{Op: op, RS1: isa.RegNone, RS2: isa.RegNone, RD: isa.RegNone, Mem: isa.NoMem}
+	case isa.Fmt3:
+		switch op {
+		case isa.MOV:
+			return isa.MovI(7, isa.O1)
+		case isa.CMP:
+			return isa.CmpI(isa.O0, 3)
+		}
+		return isa.RRR(op, isa.O0, isa.O1, isa.O2)
+	case isa.FmtLoad:
+		rd := isa.Reg(isa.O0)
+		if op == isa.LDF || op == isa.LDDF {
+			rd = isa.F(2)
+		}
+		return isa.Load(op, isa.FP, -8, rd)
+	case isa.FmtStore:
+		rd := isa.Reg(isa.O0)
+		if op == isa.STF || op == isa.STDF {
+			rd = isa.F(2)
+		}
+		return isa.Store(op, rd, isa.SP, 64)
+	case isa.FmtBranch:
+		return isa.Branch(op, ".L9")
+	case isa.FmtCall:
+		return isa.Call("_fn")
+	case isa.FmtSethi:
+		return isa.Sethi(4096, isa.G1)
+	case isa.FmtFp2:
+		return isa.Fp2(op, isa.F(2), isa.F(4))
+	case isa.FmtFp3:
+		return isa.Fp3(op, isa.F(0), isa.F(2), isa.F(4))
+	case isa.FmtFcmp:
+		return isa.Fcmp(op, isa.F(0), isa.F(2))
+	case isa.FmtJmpl:
+		return isa.Inst{Op: op, RS1: isa.I7, RS2: isa.RegNone, RD: isa.G0,
+			Imm: 8, HasImm: true, Mem: isa.NoMem}
+	case isa.FmtRdY:
+		return isa.Inst{Op: op, RS1: isa.RegNone, RS2: isa.RegNone, RD: isa.O3, Mem: isa.NoMem}
+	}
+	panic("unhandled format")
+}
+
+// TestEveryOpcodeRoundTrips prints and reparses one canonical
+// instruction per opcode in the ISA.
+func TestEveryOpcodeRoundTrips(t *testing.T) {
+	for op := 0; op < isa.NumOpcodes; op++ {
+		in := canonicalInst(isa.Opcode(op))
+		printed := Print([]isa.Inst{in})
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", isa.Opcode(op), err, printed)
+		}
+		if len(again) != 1 {
+			t.Fatalf("%v: got %d instructions", isa.Opcode(op), len(again))
+		}
+		a, b := in, again[0]
+		a.Index, b.Index = 0, 0
+		if a != b {
+			t.Fatalf("%v: %+v != %+v (%q)", isa.Opcode(op), a, b, printed)
+		}
+	}
+}
+
+// TestPrintedProgramsAlwaysReparse is the total round-trip property
+// over the generator's full output space.
+func TestPrintedProgramsAlwaysReparse(t *testing.T) {
+	for seed := int64(100); seed < 140; seed++ {
+		prog := testgen.Block(seed, 35)
+		printed := Print(prog)
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(again) != len(prog) {
+			t.Fatalf("seed %d: %d -> %d instructions", seed, len(prog), len(again))
+		}
+	}
+}

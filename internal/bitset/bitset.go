@@ -1,0 +1,237 @@
+// Package bitset implements the variable-length reachability bit maps
+// used by the backward-pass DAG construction algorithm described in
+// Section 2 of Smotherman et al. (MICRO-24, 1991).
+//
+// Each DAG node owns one Set with one bit position per node; bit i set
+// in node a's map means node i is a descendant of a (every map has its
+// own bit set, so "descendant" here includes the node itself, matching
+// the paper: "Each node's map is initialized to indicate that a node
+// can reach itself"). The #descendants heuristic is then the population
+// count of the map minus one.
+package bitset
+
+import (
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a growable bit set. The zero value is an empty set ready to use.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set with capacity for at least n bits. All bits are clear.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// grow ensures the set can address bit i.
+func (s *Set) grow(i int) {
+	need := i/wordBits + 1
+	if need <= len(s.words) {
+		return
+	}
+	if need <= cap(s.words) {
+		s.words = s.words[:need]
+		return
+	}
+	w := make([]uint64, need, need*2)
+	copy(w, s.words)
+	s.words = w
+}
+
+// Set sets bit i, growing the set if necessary.
+func (s *Set) Set(i int) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	s.grow(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i. Clearing a bit beyond the current capacity is a no-op.
+func (s *Set) Clear(i int) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	if w := i / wordBits; w < len(s.words) {
+		s.words[w] &^= 1 << uint(i%wordBits)
+	}
+}
+
+// Test reports whether bit i is set. Bits beyond capacity read as clear.
+func (s *Set) Test(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w := i / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(i%wordBits)) != 0
+}
+
+// Or merges t into s (s |= t). This is the paper's
+// "bitmap_for_a = bitmap_for_a OR bitmap_for_b" step.
+func (s *Set) Or(t *Set) {
+	if t == nil {
+		return
+	}
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words)*wordBits - 1)
+	}
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// AndNot removes every bit of t from s (s &^= t).
+func (s *Set) AndNot(t *Set) {
+	if t == nil {
+		return
+	}
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Count returns the number of set bits (population count).
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears every bit but keeps the allocated capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether s and t contain exactly the same bits.
+func (s *Set) Equal(t *Set) bool {
+	a, b := s.words, t.words
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	for i := range b {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	for _, w := range a[len(b):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share any set bit.
+func (s *Set) Intersects(t *Set) bool {
+	if t == nil {
+		return false
+	}
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Subset reports whether every bit of s is also set in t.
+func (s *Set) Subset(t *Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for each set bit in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Next returns the index of the first set bit >= i, or -1 if none.
+func (s *Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	wi := i / wordBits
+	if wi >= len(s.words) {
+		return -1
+	}
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// String renders the set as a {1, 5, 9}-style list, for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		writeInt(&b, i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func writeInt(b *strings.Builder, i int) {
+	if i >= 10 {
+		writeInt(b, i/10)
+	}
+	b.WriteByte(byte('0' + i%10))
+}

@@ -1,0 +1,378 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Set
+	if !s.Empty() {
+		t.Fatal("zero value should be empty")
+	}
+	if s.Test(5) {
+		t.Fatal("unset bit reads set")
+	}
+	s.Set(5)
+	if !s.Test(5) {
+		t.Fatal("bit 5 not set")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+}
+
+func TestSetClearTest(t *testing.T) {
+	s := New(10)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		s.Set(i)
+		if !s.Test(i) {
+			t.Errorf("Test(%d) = false after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	s.Clear(100000) // beyond capacity: no-op
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestClearBeyondCapacityDoesNotGrow(t *testing.T) {
+	var s Set
+	s.Clear(512)
+	if len(s.words) != 0 {
+		t.Fatalf("Clear grew the set to %d words", len(s.words))
+	}
+}
+
+func TestOrGrowsReceiver(t *testing.T) {
+	a, b := New(1), New(1)
+	b.Set(300)
+	a.Or(b)
+	if !a.Test(300) {
+		t.Fatal("Or did not transfer bit 300")
+	}
+	a.Or(nil) // nil-safe
+}
+
+func TestAndNot(t *testing.T) {
+	a, b := New(8), New(8)
+	a.Set(1)
+	a.Set(2)
+	a.Set(200)
+	b.Set(2)
+	b.Set(200)
+	a.AndNot(b)
+	if !a.Test(1) || a.Test(2) || a.Test(200) {
+		t.Fatalf("AndNot wrong: %v", a)
+	}
+	a.AndNot(nil)
+	if !a.Test(1) {
+		t.Fatal("AndNot(nil) altered set")
+	}
+}
+
+func TestEqualDifferentCapacities(t *testing.T) {
+	a, b := New(1), New(1000)
+	a.Set(3)
+	b.Set(3)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("sets with same bits but different capacity compare unequal")
+	}
+	b.Set(999)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("different sets compare equal")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	a, b := New(4), New(4)
+	a.Set(1)
+	b.Set(1)
+	b.Set(70)
+	if !a.Subset(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.Subset(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	var empty Set
+	if !empty.Subset(a) {
+		t.Fatal("empty set is a subset of everything")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(0)
+	want := []int{0, 7, 63, 64, 130}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestNext(t *testing.T) {
+	s := New(0)
+	s.Set(5)
+	s.Set(64)
+	s.Set(200)
+	cases := []struct{ from, want int }{
+		{-3, 5}, {0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 200}, {200, 200}, {201, -1}, {10000, -1},
+	}
+	for _, c := range cases {
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(0)
+	s.Set(1)
+	s.Set(5)
+	s.Set(19)
+	if got := s.String(); got != "{1, 5, 19}" {
+		t.Fatalf("String = %q", got)
+	}
+	var empty Set
+	if got := empty.String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(0)
+	a.Set(9)
+	c := a.Clone()
+	c.Set(10)
+	if a.Test(10) {
+		t.Fatal("Clone aliases original storage")
+	}
+	if !c.Test(9) {
+		t.Fatal("Clone lost bit")
+	}
+}
+
+func TestResetKeepsCapacity(t *testing.T) {
+	a := New(0)
+	a.Set(500)
+	w := cap(a.words)
+	a.Reset()
+	if !a.Empty() {
+		t.Fatal("Reset left bits set")
+	}
+	if cap(a.words) != w {
+		t.Fatal("Reset changed capacity")
+	}
+}
+
+func TestNegativeTest(t *testing.T) {
+	var s Set
+	if s.Test(-1) {
+		t.Fatal("Test(-1) should be false")
+	}
+}
+
+func TestNegativeSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(-1) did not panic")
+		}
+	}()
+	var s Set
+	s.Set(-1)
+}
+
+func TestIntersects(t *testing.T) {
+	a, b := New(8), New(8)
+	a.Set(3)
+	b.Set(200)
+	if a.Intersects(b) || b.Intersects(a) {
+		t.Fatal("disjoint sets intersect")
+	}
+	b.Set(3)
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("overlapping sets do not intersect")
+	}
+	if a.Intersects(nil) {
+		t.Fatal("nil intersects")
+	}
+	var empty Set
+	if a.Intersects(&empty) {
+		t.Fatal("empty set intersects")
+	}
+}
+
+func TestClearNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clear(-1) did not panic")
+		}
+	}()
+	var s Set
+	s.Clear(-1)
+}
+
+func TestEmptyWithDirtyWords(t *testing.T) {
+	s := New(128)
+	s.Set(100)
+	s.Clear(100)
+	if !s.Empty() {
+		t.Fatal("cleared set not empty")
+	}
+	s.Set(5)
+	if s.Empty() {
+		t.Fatal("set with bit 5 reads empty")
+	}
+}
+
+// --- property tests ---
+
+// fromBits builds a Set from a list of indices clipped to a sane range.
+func fromBits(ix []uint16) (*Set, map[int]bool) {
+	s := New(0)
+	m := map[int]bool{}
+	for _, i := range ix {
+		s.Set(int(i))
+		m[int(i)] = true
+	}
+	return s, m
+}
+
+func TestQuickOrIsUnion(t *testing.T) {
+	f := func(ax, bx []uint16) bool {
+		a, am := fromBits(ax)
+		b, bm := fromBits(bx)
+		a.Or(b)
+		for i := range bm {
+			am[i] = true
+		}
+		if a.Count() != len(am) {
+			return false
+		}
+		for i := range am {
+			if !a.Test(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOrIdempotentAndMonotone(t *testing.T) {
+	f := func(ax, bx []uint16) bool {
+		a, _ := fromBits(ax)
+		b, _ := fromBits(bx)
+		a1 := a.Clone()
+		a1.Or(b)
+		a2 := a1.Clone()
+		a2.Or(b) // idempotent
+		return a1.Equal(a2) && a.Subset(a1) && b.Subset(a1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCountMatchesForEach(t *testing.T) {
+	f := func(ax []uint16) bool {
+		a, m := fromBits(ax)
+		n := 0
+		a.ForEach(func(i int) {
+			if !m[i] {
+				n = -1 << 30
+			}
+			n++
+		})
+		return n == a.Count() && n == len(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAndNotDisjoint(t *testing.T) {
+	f := func(ax, bx []uint16) bool {
+		a, _ := fromBits(ax)
+		b, _ := fromBits(bx)
+		a.AndNot(b)
+		ok := true
+		a.ForEach(func(i int) {
+			if b.Test(i) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNextEnumeratesForEach(t *testing.T) {
+	f := func(ax []uint16) bool {
+		a, _ := fromBits(ax)
+		var viaNext []int
+		for i := a.Next(0); i >= 0; i = a.Next(i + 1) {
+			viaNext = append(viaNext, i)
+		}
+		var viaEach []int
+		a.ForEach(func(i int) { viaEach = append(viaEach, i) })
+		if len(viaNext) != len(viaEach) {
+			return false
+		}
+		for i := range viaNext {
+			if viaNext[i] != viaEach[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOr(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4096)
+	c := New(4096)
+	for i := 0; i < 512; i++ {
+		a.Set(rng.Intn(4096))
+		c.Set(rng.Intn(4096))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Or(c)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	a := New(16384)
+	for i := 0; i < 16384; i += 3 {
+		a.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Count()
+	}
+}

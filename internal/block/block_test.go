@@ -1,0 +1,250 @@
+package block
+
+import (
+	"testing"
+	"testing/quick"
+
+	"daginsched/internal/isa"
+)
+
+func labeled(in isa.Inst, label string) isa.Inst {
+	in.Label = label
+	return in
+}
+
+func TestPartitionSimple(t *testing.T) {
+	prog := []isa.Inst{
+		isa.MovI(1, isa.O0),
+		isa.RRR(isa.ADD, isa.O0, isa.O1, isa.O2),
+		isa.Branch(isa.BA, "L1"),
+		isa.Nop(), // delay slot: belongs to the FOLLOWING block
+		labeled(isa.MovI(2, isa.O3), "L1"),
+		isa.Ret(),
+		isa.Restore(), // ret's delay slot
+	}
+	bs := Partition(prog)
+	if len(bs) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(bs))
+	}
+	if bs[0].Len() != 3 || !bs[0].EndsInCTI() {
+		t.Errorf("block 0: len %d, endsInCTI %v", bs[0].Len(), bs[0].EndsInCTI())
+	}
+	// The nop delay slot starts block 1, which ends at the label L1.
+	if bs[1].Len() != 1 || bs[1].Insts[0].Op != isa.NOP {
+		t.Errorf("block 1 should be the delay-slot nop, got %v", bs[1].Insts)
+	}
+	if bs[2].Name != "L1" || bs[2].Len() != 2 || bs[2].Insts[1].Op != isa.RET {
+		t.Errorf("block 2: name %q len %d", bs[2].Name, bs[2].Len())
+	}
+	// ret's delay-slot restore trails as its own block.
+	if bs[3].Len() != 1 || bs[3].Insts[0].Op != isa.RESTORE {
+		t.Errorf("block 3 should be the restore, got %v", bs[3].Insts)
+	}
+}
+
+func TestPartitionDelaySlotCounting(t *testing.T) {
+	// Table 3's rule: the delay-slot instruction counts with the block
+	// following the branch, including for annulling branches.
+	prog := []isa.Inst{
+		isa.CmpI(isa.O0, 0),
+		isa.BranchA(isa.BNE, "loop"),
+		isa.RIR(isa.ADD, isa.O1, 1, isa.O1), // annulled delay slot
+		isa.MovI(0, isa.O2),
+		isa.Ret(),
+	}
+	bs := Partition(prog)
+	if len(bs) != 2 {
+		t.Fatalf("got %d blocks, want 2", len(bs))
+	}
+	if bs[0].Len() != 2 {
+		t.Errorf("branch block len = %d, want 2", bs[0].Len())
+	}
+	if bs[1].Len() != 3 || bs[1].Insts[0].Op != isa.ADD {
+		t.Errorf("following block must start with the delay-slot add: %v", bs[1].Insts)
+	}
+}
+
+func TestPartitionSaveRestoreEndBlocks(t *testing.T) {
+	prog := []isa.Inst{
+		isa.SaveI(-96),
+		isa.MovI(1, isa.L0),
+		isa.Restore(),
+		isa.MovI(2, isa.O0),
+	}
+	bs := Partition(prog)
+	if len(bs) != 3 {
+		t.Fatalf("got %d blocks, want 3 (save | mov restore | mov)", len(bs))
+	}
+	if bs[0].Len() != 1 || bs[0].Insts[0].Op != isa.SAVE {
+		t.Error("save must terminate its own block")
+	}
+	if bs[1].Len() != 2 || bs[1].Insts[1].Op != isa.RESTORE {
+		t.Error("restore must terminate the middle block")
+	}
+}
+
+func TestPartitionLabelsStartBlocks(t *testing.T) {
+	prog := []isa.Inst{
+		isa.MovI(1, isa.O0),
+		labeled(isa.MovI(2, isa.O1), "L5"),
+		isa.MovI(3, isa.O2),
+	}
+	bs := Partition(prog)
+	if len(bs) != 2 || bs[1].Name != "L5" || bs[1].Len() != 2 {
+		t.Fatalf("label did not split: %d blocks", len(bs))
+	}
+	if bs[0].Name != ".bb0" {
+		t.Errorf("synthesized name = %q", bs[0].Name)
+	}
+}
+
+func TestPartitionIndicesAndStart(t *testing.T) {
+	prog := []isa.Inst{
+		isa.MovI(1, isa.O0),
+		isa.Branch(isa.BA, "x"),
+		isa.Nop(),
+		isa.MovI(2, isa.O1),
+	}
+	bs := Partition(prog)
+	if bs[1].Start != 2 {
+		t.Errorf("block 1 Start = %d, want 2", bs[1].Start)
+	}
+	for _, b := range bs {
+		for i, in := range b.Insts {
+			if in.Index != i {
+				t.Errorf("block %q inst %d has Index %d", b.Name, i, in.Index)
+			}
+		}
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	if bs := Partition(nil); len(bs) != 0 {
+		t.Fatal("empty program should have no blocks")
+	}
+}
+
+func TestSplitWindow(t *testing.T) {
+	big := &Block{Name: "huge"}
+	for i := 0; i < 2500; i++ {
+		big.Insts = append(big.Insts, isa.MovI(int32(i), isa.O0))
+	}
+	small := &Block{Name: "small", Insts: []isa.Inst{isa.Nop()}}
+	out := SplitWindow([]*Block{big, small}, 1000)
+	if len(out) != 4 {
+		t.Fatalf("got %d blocks, want 4 (1000+1000+500 + small)", len(out))
+	}
+	if out[0].Len() != 1000 || out[1].Len() != 1000 || out[2].Len() != 500 {
+		t.Errorf("piece lengths: %d %d %d", out[0].Len(), out[1].Len(), out[2].Len())
+	}
+	if out[0].WindowPiece != 0 || out[1].WindowPiece != 1 || out[2].WindowPiece != 2 {
+		t.Error("window pieces misnumbered")
+	}
+	if out[1].Start != big.Start+1000 {
+		t.Errorf("piece Start = %d", out[1].Start)
+	}
+	if out[3] != small {
+		t.Error("small block should pass through unchanged")
+	}
+	if got := SplitWindow([]*Block{big}, 0); len(got) != 1 {
+		t.Error("window 0 must be a no-op")
+	}
+}
+
+func TestSplitWindowPreservesInstructionsQuick(t *testing.T) {
+	f := func(n uint8, maxRaw uint8) bool {
+		max := int(maxRaw)%20 + 1
+		b := &Block{Name: "b"}
+		for i := 0; i < int(n); i++ {
+			b.Insts = append(b.Insts, isa.MovI(int32(i), isa.O0))
+		}
+		out := SplitWindow([]*Block{b}, max)
+		total := 0
+		next := int32(0)
+		for _, ob := range out {
+			if ob.Len() > max {
+				return false
+			}
+			for _, in := range ob.Insts {
+				if in.Imm != next {
+					return false // order or content changed
+				}
+				next++
+			}
+			total += ob.Len()
+		}
+		return total == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	b1 := &Block{Insts: make([]isa.Inst, 4)}
+	b2 := &Block{Insts: make([]isa.Inst, 10)}
+	mem := map[*Block]int{b1: 2, b2: 6}
+	s := Measure([]*Block{b1, b2}, func(b *Block) int { return mem[b] })
+	if s.Blocks != 2 || s.Insts != 14 || s.MaxBlockLen != 10 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.AvgBlockLen != 7 || s.MaxUniqueMem != 6 || s.AvgUniqueMem != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestPartitionRoundTripQuick: concatenating the partitioned blocks
+// reproduces the original stream exactly (same instructions, same
+// order, labels intact) — partitioning only draws boundaries.
+func TestPartitionRoundTripQuick(t *testing.T) {
+	f := func(ops []uint8, labelAt uint8) bool {
+		var prog []isa.Inst
+		for i, o := range ops {
+			var in isa.Inst
+			switch o % 6 {
+			case 0:
+				in = isa.MovI(int32(i), isa.O0)
+			case 1:
+				in = isa.Branch(isa.BNE, "L")
+			case 2:
+				in = isa.Nop()
+			case 3:
+				in = isa.Call("_f")
+			case 4:
+				in = isa.Ret()
+			default:
+				in = isa.RRR(isa.ADD, isa.O0, isa.O1, isa.O2)
+			}
+			if i == int(labelAt)%(len(ops)+1) {
+				in.Label = "L"
+			}
+			prog = append(prog, in)
+		}
+		var flat []isa.Inst
+		for _, b := range Partition(prog) {
+			flat = append(flat, b.Insts...)
+		}
+		if len(flat) != len(prog) {
+			return false
+		}
+		for i := range prog {
+			a, b := prog[i], flat[i]
+			b.Index = a.Index // block-local indices differ by design
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthNames(t *testing.T) {
+	prog := []isa.Inst{isa.Ret(), isa.Ret(), isa.Ret()}
+	bs := Partition(prog)
+	if bs[0].Name != ".bb0" || bs[1].Name != ".bb1" || bs[2].Name != ".bb2" {
+		t.Errorf("names = %q %q %q", bs[0].Name, bs[1].Name, bs[2].Name)
+	}
+}

@@ -1,0 +1,166 @@
+// Package cfg builds the control-flow graph over basic blocks and
+// propagates cross-block scheduling information along it.
+//
+// The paper's third future-work item wants "operation latencies
+// inherited from immediately preceding blocks". Package sched
+// implements the carry for a linear chain; this package generalizes it
+// to real control flow: a block's inherited latencies are the join —
+// the per-register maximum — of every CFG predecessor's carry-out, the
+// conservative answer when the runtime path is unknown.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"daginsched/internal/block"
+	"daginsched/internal/isa"
+)
+
+// Node is one basic block plus its flow edges (indices into Graph.Blocks).
+type Node struct {
+	Block *block.Block
+	// Succs are control-flow successors: the fall-through block (unless
+	// the block ends in an unconditional transfer) and the branch
+	// target, when it is a known label.
+	Succs []int
+	// Preds are the reverse edges.
+	Preds []int
+	// HasUnknownPred marks blocks reachable from outside the analyzed
+	// stream (entry block, call returns, indirect jumps): their carry-in
+	// must be assumed empty-pessimistic, i.e. no inherited information.
+	HasUnknownPred bool
+}
+
+// Graph is the control-flow graph of one instruction stream.
+type Graph struct {
+	Blocks []*Node
+	// byLabel maps a leading label to its block index.
+	byLabel map[string]int
+}
+
+// Build partitions the stream and connects the blocks.
+func Build(insts []isa.Inst) *Graph {
+	blocks := block.Partition(insts)
+	g := &Graph{byLabel: make(map[string]int)}
+	for i, b := range blocks {
+		g.Blocks = append(g.Blocks, &Node{Block: b})
+		if b.Len() > 0 && b.Insts[0].Label != "" {
+			g.byLabel[b.Insts[0].Label] = i
+		}
+	}
+	// A block that follows an unconditional transfer holds that
+	// transfer's delay slot: control leaves it after its first
+	// instruction, to the transfer's target — it never falls through.
+	jumpVia := map[int]string{}
+	noFall := map[int]bool{}
+	for i, n := range g.Blocks {
+		if last := lastInst(n.Block); last != nil {
+			switch last.Op {
+			case isa.BA:
+				jumpVia[i+1] = last.Target
+			case isa.JMPL, isa.RET, isa.RETL:
+				noFall[i+1] = true // indirect target: unanalyzable
+			}
+		}
+	}
+	for i, n := range g.Blocks {
+		if tgt, ok := jumpVia[i]; ok {
+			g.edgeTo(i, tgt)
+			continue
+		}
+		if noFall[i] {
+			continue
+		}
+		last := lastInst(n.Block)
+		if last == nil {
+			g.fallthrough_(i)
+			continue
+		}
+		switch {
+		case last.Op == isa.BA:
+			g.fallthrough_(i) // into the delay-slot block, then away
+		case last.Op.IsBranch():
+			g.edgeTo(i, last.Target)
+			g.fallthrough_(i)
+		case last.Op == isa.CALL:
+			// The delay slot executes, then the callee runs and returns
+			// with clobbered caller-saved state: keep the reachability
+			// edge but poison the successor's carry.
+			g.fallthrough_(i)
+			g.markUnknown(i + 1)
+		case last.Op == isa.JMPL, last.Op == isa.RET, last.Op == isa.RETL:
+			g.fallthrough_(i) // the delay slot still executes
+		case last.Op.EndsBlock():
+			// SAVE/RESTORE: control continues, registers renamed —
+			// window shifts invalidate register carries.
+			g.markUnknown(i + 1)
+		default:
+			g.fallthrough_(i)
+		}
+	}
+	if len(g.Blocks) > 0 {
+		g.Blocks[0].HasUnknownPred = true // program entry
+	}
+	for _, n := range g.Blocks {
+		if n.Block.Len() > 0 && n.Block.Insts[0].Label != "" &&
+			strings.HasPrefix(n.Block.Insts[0].Label, "_") {
+			n.HasUnknownPred = true // externally-visible entry point
+		}
+	}
+	return g
+}
+
+func lastInst(b *block.Block) *isa.Inst {
+	if b.Len() == 0 {
+		return nil
+	}
+	in := &b.Insts[b.Len()-1]
+	if !in.Op.EndsBlock() {
+		return nil
+	}
+	return in
+}
+
+// fallthrough_ adds the edge i -> i+1 when a next block exists.
+func (g *Graph) fallthrough_(i int) {
+	if i+1 < len(g.Blocks) {
+		g.addEdge(i, i+1)
+	}
+}
+
+// edgeTo adds an edge to a labeled block; unknown labels (external or
+// forward-declared elsewhere) mark nothing — the target is outside the
+// stream.
+func (g *Graph) edgeTo(i int, label string) {
+	if j, ok := g.byLabel[label]; ok {
+		g.addEdge(i, j)
+	}
+}
+
+func (g *Graph) markUnknown(i int) {
+	if i < len(g.Blocks) {
+		g.Blocks[i].HasUnknownPred = true
+	}
+}
+
+func (g *Graph) addEdge(from, to int) {
+	g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+	g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+}
+
+// String renders the graph for debugging: one line per block.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for i, n := range g.Blocks {
+		fmt.Fprintf(&b, "%3d %-12s ->", i, n.Block.Name)
+		for _, s := range n.Succs {
+			fmt.Fprintf(&b, " %d", s)
+		}
+		if n.HasUnknownPred {
+			b.WriteString("   (unknown pred)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

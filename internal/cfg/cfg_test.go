@@ -1,0 +1,182 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"daginsched/internal/asm"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	insts, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(insts)
+}
+
+func TestDiamond(t *testing.T) {
+	g := build(t, `
+	cmp %o0, 0
+	bne .Lelse
+	nop
+	mov 1, %o1
+	ba .Ljoin
+	nop
+.Lelse:
+	mov 2, %o1
+.Ljoin:
+	st %o1, [%fp-4]
+`)
+	// Blocks: 0 {cmp,bne} 1 {nop,mov,ba} 2 {nop} 3 {.Lelse mov} 4 {.Ljoin st}
+	if len(g.Blocks) != 5 {
+		t.Fatalf("got %d blocks:\n%s", len(g.Blocks), g)
+	}
+	succ := func(i int) []int { return g.Blocks[i].Succs }
+	if got := succ(0); len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Errorf("branch block succs = %v, want [3 1]", got)
+	}
+	// The ba block flows into its delay-slot block (2), which then
+	// transfers to the join.
+	if got := succ(1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("ba block succs = %v, want [2]", got)
+	}
+	if got := succ(2); len(got) != 1 || got[0] != 4 {
+		t.Errorf("slot block succs = %v, want [4]", got)
+	}
+	if got := succ(3); len(got) != 1 || got[0] != 4 {
+		t.Errorf("else block succs = %v, want [4]", got)
+	}
+	// The join block has two predecessors.
+	if got := g.Blocks[4].Preds; len(got) != 2 {
+		t.Errorf("join preds = %v", got)
+	}
+	if !g.Blocks[0].HasUnknownPred {
+		t.Error("entry block must have unknown predecessors")
+	}
+	if g.Blocks[4].HasUnknownPred {
+		t.Error("join block is fully analyzed")
+	}
+}
+
+func TestCallBreaksCarry(t *testing.T) {
+	g := build(t, `
+	mov 1, %o0
+	call _printf
+	nop
+	add %o0, 1, %o1
+`)
+	// The block after the call's delay slot... the call ends block 0;
+	// block 1 begins with the nop. Block 1 must be marked unknown.
+	if len(g.Blocks) < 2 {
+		t.Fatalf("blocks:\n%s", g)
+	}
+	if !g.Blocks[1].HasUnknownPred {
+		t.Error("call fall-through must have unknown predecessor state")
+	}
+	// The reachability edge exists (the delay slot executes), but the
+	// unknown-pred flag suppresses any carry across the call.
+	if len(g.Blocks[1].Preds) != 1 {
+		t.Errorf("call slot block preds = %v, want [0]", g.Blocks[1].Preds)
+	}
+}
+
+func TestSaveRestoreBreakCarry(t *testing.T) {
+	g := build(t, `
+	save %sp, -96, %sp
+	mov 1, %l0
+	restore
+	mov 2, %o0
+`)
+	if !g.Blocks[1].HasUnknownPred || !g.Blocks[2].HasUnknownPred {
+		t.Errorf("register-window shifts must invalidate carries:\n%s", g)
+	}
+}
+
+func TestIndirectJumpFlow(t *testing.T) {
+	g := build(t, `
+	mov 1, %o0
+	ret
+	restore
+`)
+	// The ret's delay slot (the restore block) executes, so it is a
+	// successor; after it, control goes through the indirect target —
+	// unanalyzable, so the slot block has no successors of its own.
+	if got := g.Blocks[0].Succs; len(got) != 1 || got[0] != 1 {
+		t.Errorf("ret block succs = %v, want [1] (delay slot)", got)
+	}
+	if len(g.Blocks[1].Succs) != 0 {
+		t.Errorf("slot block succs = %v, want none", g.Blocks[1].Succs)
+	}
+}
+
+func TestExternalLabelUnknown(t *testing.T) {
+	insts, err := asm.Parse(`
+_entry:
+	mov 1, %o0
+	mov 2, %o1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(insts)
+	if !g.Blocks[0].HasUnknownPred {
+		t.Error("underscore-labeled block must count as external entry")
+	}
+}
+
+func TestUnknownTargetIgnored(t *testing.T) {
+	g := build(t, `
+	ba _elsewhere
+	nop
+	mov 1, %o0
+`)
+	// The ba's delay-slot block executes (edge 0->1); from there control
+	// leaves for the unknown label, never falling through to the mov.
+	if got := g.Blocks[0].Succs; len(got) != 1 || got[0] != 1 {
+		t.Errorf("ba block succs = %v, want [1]", got)
+	}
+	if len(g.Blocks[1].Succs) != 0 {
+		t.Errorf("slot block leaked an edge: %v", g.Blocks[1].Succs)
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	g := build(t, `
+.Ltop:
+	add %o0, 1, %o0
+	cmp %o0, 10
+	bne .Ltop
+	nop
+	mov 0, %o1
+`)
+	// Block 0 (.Ltop ... bne) branches back to itself and falls through.
+	n := g.Blocks[0]
+	back := false
+	for _, s := range n.Succs {
+		if s == 0 {
+			back = true
+		}
+	}
+	if !back {
+		t.Errorf("back edge missing: succs %v", n.Succs)
+	}
+	if len(n.Preds) == 0 {
+		t.Error("loop header should have itself as predecessor")
+	}
+}
+
+func TestStringRenders(t *testing.T) {
+	g := build(t, "\tmov 1, %o0\n\tba .L\n\tnop\n.L:\tret\n\trestore\n")
+	out := g.String()
+	if !strings.Contains(out, "->") || !strings.Contains(out, "(unknown pred)") {
+		t.Errorf("graph render:\n%s", out)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if g := Build(nil); len(g.Blocks) != 0 {
+		t.Fatal("empty stream produced blocks")
+	}
+}

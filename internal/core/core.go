@@ -1,0 +1,249 @@
+// Package core is the high-level entry point of the library: it wires
+// the substrates (ISA, assembler, basic blocks, resource interning,
+// machine models) to the paper's contributions (DAG construction
+// algorithms, heuristic annotation, list scheduling) behind one
+// Pipeline type. The examples and command-line tools are thin layers
+// over this package; the individual packages remain importable for
+// finer control.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"daginsched/internal/asm"
+	"daginsched/internal/block"
+	"daginsched/internal/cfg"
+	"daginsched/internal/dag"
+	"daginsched/internal/delayslot"
+	"daginsched/internal/isa"
+	"daginsched/internal/machine"
+	"daginsched/internal/rename"
+	"daginsched/internal/resource"
+	"daginsched/internal/sched"
+)
+
+// Pipeline is a complete scheduling configuration.
+type Pipeline struct {
+	// Machine is the target model (default machine.Pipe1).
+	Machine *machine.Model
+	// Builder constructs the dependence DAG. When nil, the scheduling
+	// algorithm's published construction (Table 2) is used, falling back
+	// to table-building forward.
+	Builder dag.Builder
+	// MemModel selects memory disambiguation (default MemExprModel).
+	MemModel resource.MemModel
+	// Algorithm is the scheduling algorithm (default Krishnamurthy).
+	Algorithm *sched.Algorithm
+	// Window caps basic-block size (0 = no instruction window).
+	Window int
+	// FillSlots runs the delay-slot scheduler after block scheduling,
+	// replacing nop delay slots with hoisted leaf instructions.
+	FillSlots bool
+	// Rename runs within-block register renaming before DAG
+	// construction, deleting WAR/WAW arcs whose only cause is register
+	//-name reuse (see package rename).
+	Rename bool
+	// GlobalCarry propagates operation latencies across basic blocks
+	// along the control-flow graph (the paper's third future-work item):
+	// each block inherits the join of its predecessors' in-flight
+	// latencies as initial earliest-execution-times. Only forward
+	// sequential algorithms exploit it. Ignored when Window is set.
+	GlobalCarry bool
+}
+
+// Default returns the configuration used throughout the paper's
+// Section 6 discussion: table-building construction on a single-issue
+// pipelined RISC, scheduled by Krishnamurthy's algorithm.
+func Default() *Pipeline {
+	return &Pipeline{
+		Machine:   machine.Pipe1(),
+		MemModel:  resource.MemExprModel,
+		Algorithm: sched.Krishnamurthy(),
+	}
+}
+
+func (p *Pipeline) builder() dag.Builder {
+	if p.Builder != nil {
+		return p.Builder
+	}
+	return p.Algorithm.Builder()
+}
+
+// BlockResult is the outcome of scheduling one basic block.
+type BlockResult struct {
+	Block    *block.Block
+	DAG      *dag.DAG
+	Schedule *sched.Result
+	Baseline *sched.Result // original program order on the same machine
+}
+
+// Improved reports the cycles saved relative to program order.
+func (r *BlockResult) Improved() int32 {
+	return r.Baseline.Cycles - r.Schedule.Cycles
+}
+
+// Insts returns the block's instructions in scheduled order, with the
+// block's label kept on the (possibly new) first instruction.
+func (r *BlockResult) Insts() []isa.Inst {
+	out := make([]isa.Inst, 0, r.Block.Len())
+	var label string
+	if r.Block.Len() > 0 {
+		label = r.Block.Insts[0].Label
+	}
+	for k, node := range r.Schedule.Order {
+		in := r.Block.Insts[node]
+		if k == 0 {
+			in.Label = label
+		} else {
+			in.Label = ""
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// ScheduleBlock builds the DAG for one block and schedules it.
+func (p *Pipeline) ScheduleBlock(b *block.Block) *BlockResult {
+	return p.scheduleBlock(b, nil)
+}
+
+func (p *Pipeline) scheduleBlock(b *block.Block, carry *sched.Carry) *BlockResult {
+	if p.Rename {
+		renamed := rename.Block(b.Insts)
+		if renamed.Renamed > 0 {
+			nb := *b
+			nb.Insts = renamed.Insts
+			b = &nb
+		}
+	}
+	rt := resource.NewTable(p.MemModel)
+	rt.PrepareBlock(b.Insts)
+	d := p.builder().Build(b, p.Machine, rt)
+	var r *sched.Result
+	if carry != nil {
+		r = p.Algorithm.RunWithCarry(d, p.Machine, carry)
+	} else {
+		r = p.Algorithm.Run(d, p.Machine)
+	}
+	return &BlockResult{
+		Block:    b,
+		DAG:      d,
+		Schedule: r,
+		Baseline: sched.InOrder(d, p.Machine),
+	}
+}
+
+// ProgramResult is the outcome of scheduling a whole program.
+type ProgramResult struct {
+	Blocks   []*BlockResult
+	Cycles   int64 // total scheduled cycles across blocks
+	Baseline int64 // total program-order cycles
+	// SlotsFilled counts nop delay slots replaced by the delay-slot
+	// scheduler (when the pipeline enables it).
+	SlotsFilled int
+
+	final []isa.Inst // post-delay-slot program, when FillSlots ran
+}
+
+// ScheduleProgram partitions an instruction stream into basic blocks
+// (applying the pipeline's instruction window, if any), schedules each
+// block, and optionally runs the delay-slot filler over the result.
+func (p *Pipeline) ScheduleProgram(insts []isa.Inst) *ProgramResult {
+	out := &ProgramResult{}
+	if p.GlobalCarry && p.Window == 0 {
+		p.scheduleWithCFG(insts, out)
+	} else {
+		for _, b := range block.SplitWindow(block.Partition(insts), p.Window) {
+			out.add(p.scheduleBlock(b, nil))
+		}
+	}
+	if p.FillSlots {
+		ds := delayslot.Fill(out.Insts(), p.Machine, p.MemModel)
+		out.final = ds.Insts
+		out.SlotsFilled = ds.Filled
+	}
+	return out
+}
+
+// scheduleWithCFG walks the blocks in stream order, joining each
+// block's carry-in over its already-scheduled control-flow
+// predecessors. Back edges (loops) and unknown predecessors contribute
+// no information — the conservative single-pass approximation.
+func (p *Pipeline) scheduleWithCFG(insts []isa.Inst, out *ProgramResult) {
+	g := cfg.Build(insts)
+	carryOut := make([]*sched.Carry, len(g.Blocks))
+	for i, node := range g.Blocks {
+		var carry *sched.Carry
+		if !node.HasUnknownPred {
+			ins := make([]*sched.Carry, 0, len(node.Preds))
+			for _, pi := range node.Preds {
+				if pi < i {
+					ins = append(ins, carryOut[pi])
+				}
+			}
+			if len(ins) > 0 {
+				carry = sched.Join(ins...)
+			}
+		}
+		br := p.scheduleBlock(node.Block, carry)
+		carryOut[i] = sched.CarryOut(br.DAG, p.Machine, br.Schedule)
+		out.add(br)
+	}
+}
+
+func (out *ProgramResult) add(r *BlockResult) {
+	out.Blocks = append(out.Blocks, r)
+	out.Cycles += int64(r.Schedule.Cycles)
+	out.Baseline += int64(r.Baseline.Cycles)
+}
+
+// Insts returns the whole scheduled program (after delay-slot filling,
+// when the pipeline enabled it).
+func (r *ProgramResult) Insts() []isa.Inst {
+	if r.final != nil {
+		return r.final
+	}
+	var out []isa.Inst
+	for _, br := range r.Blocks {
+		out = append(out, br.Insts()...)
+	}
+	for i := range out {
+		out[i].Index = i
+	}
+	return out
+}
+
+// ScheduleAsm parses assembly text, schedules it, and returns the
+// rescheduled assembly together with the program result.
+func (p *Pipeline) ScheduleAsm(src string) (string, *ProgramResult, error) {
+	insts, err := asm.Parse(src)
+	if err != nil {
+		return "", nil, err
+	}
+	res := p.ScheduleProgram(insts)
+	return asm.Print(res.Insts()), res, nil
+}
+
+// Report renders a per-block summary of a program result.
+func (r *ProgramResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %10s %10s %8s\n",
+		"block", "insts", "arcs", "baseline", "scheduled", "saved")
+	fmt.Fprintln(&b, strings.Repeat("-", 62))
+	for _, br := range r.Blocks {
+		fmt.Fprintf(&b, "%-12s %8d %8d %10d %10d %8d\n",
+			br.Block.Name, br.Block.Len(), br.DAG.NumArcs,
+			br.Baseline.Cycles, br.Schedule.Cycles, br.Improved())
+	}
+	fmt.Fprintf(&b, "total: %d cycles scheduled vs %d in program order (%.1f%% saved)\n",
+		r.Cycles, r.Baseline, 100*float64(r.Baseline-r.Cycles)/float64(max64(r.Baseline, 1)))
+	return b.String()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

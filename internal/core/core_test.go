@@ -1,0 +1,292 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"daginsched/internal/dag"
+	"daginsched/internal/interp"
+	"daginsched/internal/isa"
+	"daginsched/internal/machine"
+	"daginsched/internal/sched"
+	"daginsched/internal/testgen"
+)
+
+const demoAsm = `
+entry:
+	ld [%fp-4], %o0
+	add %o0, 1, %o1
+	mov 5, %o2
+	cmp %o1, %o2
+	bne entry
+	nop
+`
+
+func TestScheduleAsmEndToEnd(t *testing.T) {
+	p := Default()
+	out, res, err := p.ScheduleAsm(demoAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles > res.Baseline {
+		t.Errorf("scheduling worsened: %d vs %d", res.Cycles, res.Baseline)
+	}
+	if !strings.Contains(out, "entry:") {
+		t.Errorf("label lost:\n%s", out)
+	}
+	// The load delay slot must be filled: mov hoists between ld and add.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[1], "ld") || !strings.Contains(lines[2], "mov") {
+		t.Errorf("expected mov in the load delay slot:\n%s", out)
+	}
+}
+
+func TestScheduleAsmParseError(t *testing.T) {
+	if _, _, err := Default().ScheduleAsm("bogus %o0"); err == nil {
+		t.Fatal("bad assembly accepted")
+	}
+}
+
+func TestScheduleProgramSemantics(t *testing.T) {
+	// End-to-end: partition, schedule, reassemble, and check that the
+	// straight-line body of each block preserves architectural state.
+	for seed := int64(0); seed < 8; seed++ {
+		body := testgen.Block(seed, 20)
+		p := Default()
+		res := p.ScheduleProgram(body)
+		if len(res.Blocks) != 1 {
+			t.Fatalf("CTI-free stream should form one block, got %d", len(res.Blocks))
+		}
+		ref := interp.NewState(uint64(seed))
+		if err := ref.Run(body); err != nil {
+			t.Fatal(err)
+		}
+		got := interp.NewState(uint64(seed))
+		if err := got.Run(res.Insts()); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(ref) {
+			t.Fatalf("seed %d: reassembled program diverged: %s", seed, got.Diff(ref))
+		}
+	}
+}
+
+func TestPipelineConfigurations(t *testing.T) {
+	insts := testgen.Block(3, 25)
+	for _, al := range sched.Table2() {
+		for _, m := range []*machine.Model{machine.Pipe1(), machine.Super2()} {
+			p := Default()
+			p.Machine = m
+			p.Algorithm = al
+			res := p.ScheduleProgram(insts)
+			if res.Cycles <= 0 {
+				t.Errorf("%s on %s: no cycles", al.Name, m.Name)
+			}
+		}
+	}
+}
+
+func TestExplicitBuilderOverride(t *testing.T) {
+	p := Default()
+	p.Builder = dag.Landskov{}
+	res := p.ScheduleProgram(testgen.Block(1, 15))
+	if res.Blocks[0].DAG.Builder != "landskov" {
+		t.Errorf("builder override ignored: %s", res.Blocks[0].DAG.Builder)
+	}
+}
+
+func TestWindowing(t *testing.T) {
+	p := Default()
+	p.Window = 8
+	res := p.ScheduleProgram(testgen.Block(2, 30))
+	if len(res.Blocks) != 4 {
+		t.Errorf("window 8 over 30 insts: %d blocks, want 4", len(res.Blocks))
+	}
+	for _, br := range res.Blocks {
+		if br.Block.Len() > 8 {
+			t.Errorf("block exceeds window: %d", br.Block.Len())
+		}
+	}
+}
+
+func TestFillSlotsEndToEnd(t *testing.T) {
+	src := `
+top:
+	ld [%fp-4], %o0
+	add %o0, 1, %o1
+	mov 9, %l7
+	cmp %o1, 0
+	bne top
+	nop
+`
+	p := Default()
+	p.FillSlots = true
+	out, res, err := p.ScheduleAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlotsFilled != 1 {
+		t.Fatalf("slots filled = %d, want 1\n%s", res.SlotsFilled, out)
+	}
+	if strings.Contains(out, "nop") {
+		t.Errorf("nop survived delay-slot filling:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	lastLine := lines[len(lines)-1]
+	if strings.Contains(lastLine, "bne") {
+		t.Errorf("branch must not be the final instruction (slot follows):\n%s", out)
+	}
+	// Without the pass, the nop stays.
+	p2 := Default()
+	out2, res2, err := p2.ScheduleAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SlotsFilled != 0 || !strings.Contains(out2, "nop") {
+		t.Error("FillSlots=false should leave the nop alone")
+	}
+}
+
+func TestGlobalCarryAcrossCFG(t *testing.T) {
+	// The first block launches a divide and branches; both successor
+	// blocks consume the result immediately but carry independent
+	// cover work. With GlobalCarry both inherit the in-flight latency
+	// through the CFG (the taken edge reaches .Lalt, the fall-through
+	// edge reaches the delay-slot block).
+	src := `
+	fdivd %f0, %f2, %f6
+	cmp %o0, 0
+	bne .Lalt
+	nop
+	faddd %f6, %f8, %f10
+	stdf %f10, [%sp+64]
+	mov 1, %o1
+	mov 2, %o2
+	mov 3, %o3
+	mov 4, %o4
+	mov 5, %o5
+	ba .Lend
+	nop
+.Lalt:
+	faddd %f6, %f8, %f12
+	stdf %f12, [%sp+72]
+	mov 6, %l0
+	mov 7, %l1
+	mov 8, %l2
+	mov 9, %l3
+.Lend:
+	ret
+	restore
+`
+	local := Default()
+	local.Algorithm = sched.Warren()
+	_, lres, err := local.ScheduleAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := Default()
+	global.Algorithm = sched.Warren()
+	global.GlobalCarry = true
+	_, gres, err := global.ScheduleAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The carry must change the successor blocks' orders: the dependent
+	// faddd is deferred behind the independent movs.
+	changed := false
+	for i := range lres.Blocks {
+		lo, gl := lres.Blocks[i].Schedule.Order, gres.Blocks[i].Schedule.Order
+		for k := range lo {
+			if lo[k] != gl[k] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("global carry had no effect on any block")
+	}
+	for i, br := range gres.Blocks {
+		if !sched.Legal(br.DAG, br.Schedule) {
+			t.Fatalf("block %d: illegal schedule under carry", i)
+		}
+	}
+}
+
+func TestRenamePipelineOption(t *testing.T) {
+	src := `
+hot:
+	ld [%fp-4], %o0
+	add %o0, 1, %o0
+	st %o0, [%fp-8]
+	ld [%fp-12], %o0
+	add %o0, 2, %o0
+	st %o0, [%fp-16]
+`
+	plain := Default()
+	_, pres, err := plain.ScheduleAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ren := Default()
+	ren.Rename = true
+	_, rres, err := ren.ScheduleAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Cycles >= pres.Cycles {
+		t.Fatalf("renaming did not help: %d vs %d cycles", rres.Cycles, pres.Cycles)
+	}
+	// Semantics: architecturally-visible memory must match.
+	a := interp.NewState(3)
+	if err := runBody(a, pres.Insts()); err != nil {
+		t.Fatal(err)
+	}
+	b := interp.NewState(3)
+	if err := runBody(b, rres.Insts()); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Mem {
+		if b.Mem[k] != v {
+			t.Fatalf("mem[%#x] = %#x, want %#x", k, b.Mem[k], v)
+		}
+	}
+}
+
+func runBody(s *interp.State, insts []isa.Inst) error {
+	for i := range insts {
+		if insts[i].Op.IsCTI() {
+			continue
+		}
+		if err := s.Exec(&insts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestReportRenders(t *testing.T) {
+	res := Default().ScheduleProgram(testgen.Block(4, 12))
+	rep := res.Report()
+	if !strings.Contains(rep, "total:") || !strings.Contains(rep, "baseline") {
+		t.Errorf("report malformed:\n%s", rep)
+	}
+}
+
+func TestBlockResultInstsKeepLabel(t *testing.T) {
+	insts := []isa.Inst{
+		isa.Load(isa.LD, isa.FP, -4, isa.O0),
+		isa.RIR(isa.ADD, isa.O0, 1, isa.O1),
+		isa.MovI(5, isa.O2),
+	}
+	insts[0].Label = "top"
+	res := Default().ScheduleProgram(insts)
+	out := res.Insts()
+	if out[0].Label != "top" {
+		t.Errorf("label not on first scheduled instruction: %+v", out[0])
+	}
+	for _, in := range out[1:] {
+		if in.Label != "" {
+			t.Errorf("stray label on %v", in)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	d := buildOn(t, TableForward{}, figure1())
+	var b strings.Builder
+	if err := d.WriteDOT(&b, "fig1"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "fig1"`,
+		`n0 [label="0: fdivs %f1, %f2, %f3"]`,
+		`n0 -> n2 [label="RAW/20", style=dashed]`, // the transitive arc
+		`n0 -> n1 [label="WAR/1"]`,
+		`n1 -> n2 [label="RAW/4"]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n--
+	if w.n < 0 {
+		return 0, errWrite
+	}
+	return len(p), nil
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "write failed" }
+
+func TestWriteDOTPropagatesErrors(t *testing.T) {
+	d := buildOn(t, TableForward{}, figure1())
+	for n := 0; n < 6; n++ {
+		if err := d.WriteDOT(&failWriter{n: n}, "x"); err == nil {
+			t.Fatalf("error swallowed at write %d", n)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package dag
+
+import (
+	"daginsched/internal/bitset"
+	"daginsched/internal/block"
+	"daginsched/internal/machine"
+	"daginsched/internal/resource"
+)
+
+// n2Compare computes the strongest dependence from node j to node i
+// (j earlier), returning the maximum delay over every conflicting
+// resource pair and the kind that produced it. found is false when the
+// instructions are independent.
+func n2Compare(d *DAG, m *machine.Model, j, i int32,
+	jUses, jDefs, iUses, iDefs []ref) (kind DepKind, delay int32, found bool) {
+	nj, ni := &d.Nodes[j], &d.Nodes[i]
+	consider := func(k DepKind, dl int) {
+		if !found || int32(dl) > delay {
+			kind, delay = k, int32(dl)
+		}
+		found = true
+	}
+	// RAW: j defines a resource i uses.
+	if nj.DefBM.Intersects(ni.UseBM) {
+		for _, def := range jDefs {
+			if !ni.UseBM.Test(int(def.id)) {
+				continue
+			}
+			for _, use := range iUses {
+				if use.id == def.id {
+					consider(RAW, m.RAWDelay(nj.Inst, def.pairSecond, ni.Inst, use.slot))
+				}
+			}
+		}
+	}
+	// WAR: j uses a resource i defines.
+	if nj.UseBM.Intersects(ni.DefBM) {
+		consider(WAR, m.WARDelayFor(nj.Inst, ni.Inst))
+	}
+	// WAW: j and i define the same resource.
+	if nj.DefBM.Intersects(ni.DefBM) {
+		consider(WAW, m.WAWDelay(nj.Inst, ni.Inst))
+	}
+	return kind, delay, found
+}
+
+// N2Forward is the compare-against-all forward construction algorithm
+// (Warren-like): each new instruction is compared against every
+// previous instruction, an O(n²) pass that "has a huge number of
+// transitive arcs" (Section 2). Use block.SplitWindow to keep it
+// practical on large blocks (Section 6 recommends a window of no more
+// than 300–400 instructions).
+type N2Forward struct{}
+
+// Name implements Builder.
+func (N2Forward) Name() string { return "n2f" }
+
+// Direction implements Builder.
+func (N2Forward) Direction() Direction { return Forward }
+
+// Build implements Builder.
+func (N2Forward) Build(b *block.Block, m *machine.Model, rt *resource.Table) *DAG {
+	d := newDAG(b, "n2f")
+	var sc instScratch
+	uses := make([][]ref, len(b.Insts))
+	defs := make([][]ref, len(b.Insts))
+	for i := range d.Nodes {
+		u, df := sc.extract(d.Nodes[i].Inst, rt, &d.Nodes[i])
+		uses[i] = append([]ref(nil), u...)
+		defs[i] = append([]ref(nil), df...)
+		for j := int32(0); j < int32(i); j++ {
+			kind, delay, found := n2Compare(d, m, j, int32(i),
+				uses[j], defs[j], uses[i], defs[i])
+			if found {
+				d.addArc(j, int32(i), kind, delay)
+			}
+		}
+	}
+	return d
+}
+
+// N2Backward is the compare-against-all algorithm run as a backward
+// pass, the construction Table 2 attributes to Gibbons & Muchnick (who
+// "used backward-pass DAG construction to handle condition code
+// dependencies in a special way"). Each instruction, taken last to
+// first, is compared against every later instruction; the arc set is
+// identical to N2Forward's.
+type N2Backward struct{}
+
+// Name implements Builder.
+func (N2Backward) Name() string { return "n2b" }
+
+// Direction implements Builder.
+func (N2Backward) Direction() Direction { return Backward }
+
+// Build implements Builder.
+func (N2Backward) Build(b *block.Block, m *machine.Model, rt *resource.Table) *DAG {
+	d := newDAG(b, "n2b")
+	n := int32(len(b.Insts))
+	var sc instScratch
+	uses := make([][]ref, n)
+	defs := make([][]ref, n)
+	for i := n - 1; i >= 0; i-- {
+		u, df := sc.extract(d.Nodes[i].Inst, rt, &d.Nodes[i])
+		uses[i] = append([]ref(nil), u...)
+		defs[i] = append([]ref(nil), df...)
+	}
+	// Arc discovery still runs pairwise; the backward pass changes the
+	// order resources are interned (and therefore the bit-map growth
+	// profile), not the resulting arc set.
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			kind, delay, found := n2Compare(d, m, i, j, uses[i], defs[i], uses[j], defs[j])
+			if found {
+				d.addArc(i, j, kind, delay)
+			}
+		}
+	}
+	return d
+}
+
+// Landskov is the transitive-arc-avoidance modification of the n²
+// forward algorithm (Landskov et al. 1980): for each new instruction it
+// "examines leaves first and prunes away any ancestors whenever a
+// dependency is observed", so no transitive arc is ever inserted.
+// Section 2 and conclusion 3 of the paper recommend *against* this
+// approach: the pruned arcs can carry timing information that the
+// remaining WAR-then-RAW paths understate (Figure 1).
+type Landskov struct{}
+
+// Name implements Builder.
+func (Landskov) Name() string { return "landskov" }
+
+// Direction implements Builder.
+func (Landskov) Direction() Direction { return Forward }
+
+// Build implements Builder.
+func (Landskov) Build(b *block.Block, m *machine.Model, rt *resource.Table) *DAG {
+	d := newDAG(b, "landskov")
+	var sc instScratch
+	uses := make([][]ref, len(b.Insts))
+	defs := make([][]ref, len(b.Insts))
+	pruned := bitset.New(len(b.Insts))
+	for i := range d.Nodes {
+		u, df := sc.extract(d.Nodes[i].Inst, rt, &d.Nodes[i])
+		uses[i] = append([]ref(nil), u...)
+		defs[i] = append([]ref(nil), df...)
+		pruned.Reset()
+		// Scan from most recent to earliest: the most recent conflicting
+		// instructions are the "leaves" of the partial DAG relative to
+		// node i. Once j is connected, every ancestor of j is pruned —
+		// any dependence on them is transitively covered.
+		for j := int32(i) - 1; j >= 0; j-- {
+			if pruned.Test(int(j)) {
+				continue
+			}
+			kind, delay, found := n2Compare(d, m, j, int32(i),
+				uses[j], defs[j], uses[i], defs[i])
+			if !found {
+				continue
+			}
+			d.addArc(j, int32(i), kind, delay)
+			markAncestors(d, j, pruned)
+		}
+	}
+	return d
+}
+
+// markAncestors sets the bits of every ancestor of node j (and j
+// itself) in the scratch set.
+func markAncestors(d *DAG, j int32, pruned *bitset.Set) {
+	if pruned.Test(int(j)) {
+		return
+	}
+	pruned.Set(int(j))
+	for _, arc := range d.Nodes[j].Preds {
+		markAncestors(d, arc.From, pruned)
+	}
+}

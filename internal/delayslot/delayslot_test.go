@@ -1,0 +1,232 @@
+package delayslot
+
+import (
+	"testing"
+
+	"daginsched/internal/interp"
+	"daginsched/internal/isa"
+	"daginsched/internal/machine"
+	"daginsched/internal/resource"
+)
+
+func fill(t *testing.T, insts []isa.Inst) *Result {
+	t.Helper()
+	return Fill(insts, machine.Pipe1(), resource.MemExprModel)
+}
+
+func TestFillsSimpleSlot(t *testing.T) {
+	prog := []isa.Inst{
+		isa.MovI(1, isa.O0),
+		isa.MovI(2, isa.O1), // leaf: nothing later reads %o1
+		isa.CmpI(isa.O0, 5),
+		isa.Branch(isa.BNE, "L"),
+		isa.Nop(),
+		isa.MovI(3, isa.O2),
+	}
+	r := fill(t, prog)
+	if r.Filled != 1 || r.Candidates != 1 {
+		t.Fatalf("filled %d of %d", r.Filled, r.Candidates)
+	}
+	if len(r.Insts) != 5 {
+		t.Fatalf("program length %d, want 5 (nop replaced, mover removed)", len(r.Insts))
+	}
+	// Order: mov1, cmp, bne, mov2-in-slot, mov3.
+	if r.Insts[2].Op != isa.BNE || r.Insts[3].Op != isa.MOV || r.Insts[3].Imm != 2 {
+		t.Fatalf("slot not filled with the leaf mov: %v", r.Insts)
+	}
+}
+
+func TestLeavesAnnulledBranchesAlone(t *testing.T) {
+	prog := []isa.Inst{
+		isa.MovI(2, isa.O1),
+		isa.CmpI(isa.O0, 5),
+		isa.BranchA(isa.BNE, "L"),
+		isa.Nop(),
+	}
+	r := fill(t, prog)
+	if r.Filled != 0 {
+		t.Fatal("annulled branch slot must not be filled from the same block")
+	}
+	if len(r.Insts) != 4 {
+		t.Fatal("program should be unchanged")
+	}
+}
+
+func TestRespectsBranchDependence(t *testing.T) {
+	// The only would-be candidate feeds the compare: not a leaf.
+	prog := []isa.Inst{
+		isa.MovI(1, isa.O0),
+		isa.CmpI(isa.O0, 5),
+		isa.Branch(isa.BNE, "L"),
+		isa.Nop(),
+	}
+	r := fill(t, prog)
+	if r.Filled != 0 {
+		t.Fatalf("dependent instruction hoisted into the slot: %v", r.Insts)
+	}
+}
+
+func TestSkipsLabeledSlot(t *testing.T) {
+	prog := []isa.Inst{
+		isa.MovI(2, isa.O1),
+		isa.Branch(isa.BA, "L"),
+		func() isa.Inst { n := isa.Nop(); n.Label = "L"; return n }(),
+	}
+	r := fill(t, prog)
+	if r.Filled != 0 {
+		t.Fatal("a labeled (branch-target) nop must never be replaced")
+	}
+}
+
+func TestPreservesLabelsOfHoistedFirstInstruction(t *testing.T) {
+	first := isa.MovI(2, isa.O1)
+	first.Label = "top"
+	prog := []isa.Inst{
+		first, // leaf AND labeled first instruction of its block
+		isa.CmpI(isa.O0, 5),
+		isa.Branch(isa.BNE, "L"),
+		isa.Nop(),
+	}
+	r := fill(t, prog)
+	if r.Filled != 1 {
+		t.Fatalf("slot unfilled: %v", r.Insts)
+	}
+	if r.Insts[0].Label != "top" {
+		t.Fatalf("block label lost: %v", r.Insts)
+	}
+}
+
+func annulLabel(in isa.Inst, l string) isa.Inst {
+	in.Label = l
+	return in
+}
+
+func TestAnnulledFillFromSinglePredTarget(t *testing.T) {
+	// bne,a .Lonly: the target is reached only through this branch, so
+	// a root of the target block may move into the squashing slot.
+	prog := []isa.Inst{
+		isa.CmpI(isa.O0, 0),
+		isa.BranchA(isa.BNE, ".Lonly"),
+		isa.Nop(),
+		isa.Branch(isa.BA, ".Lout"), // fall-through path skips .Lonly
+		isa.Nop(),
+		annulLabel(isa.MovI(7, isa.L0), ".Lonly"),
+		isa.MovI(8, isa.L1), // a root of the target block: hoistable
+		isa.RIR(isa.ADD, isa.L0, 1, isa.L2),
+		annulLabel(isa.MovI(0, isa.O0), ".Lout"),
+	}
+	r := fill(t, prog)
+	if r.Filled != 1 {
+		t.Fatalf("filled %d, want 1 (annulled slot)\n%v", r.Filled, r.Insts)
+	}
+	// The slot (position 2) now holds the hoisted mov 8.
+	if r.Insts[2].Op != isa.MOV || r.Insts[2].Imm != 8 {
+		t.Fatalf("slot = %v, want mov 8", r.Insts[2])
+	}
+	// The target block keeps its label on its (unmoved) first inst.
+	found := false
+	for _, in := range r.Insts {
+		if in.Label == ".Lonly" {
+			found = true
+			if in.Op != isa.MOV || in.Imm != 7 {
+				t.Fatalf(".Lonly label moved to %v", in)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("target label lost")
+	}
+}
+
+func TestAnnulledFillRefusedWhenTargetShared(t *testing.T) {
+	// The target has two predecessors: hoisting would change the other
+	// path. The pass must refuse.
+	prog := []isa.Inst{
+		isa.CmpI(isa.O0, 0),
+		isa.BranchA(isa.BNE, ".Lshared"),
+		isa.Nop(),
+		isa.MovI(1, isa.O1), // falls through into .Lshared too
+		annulLabel(isa.MovI(7, isa.L0), ".Lshared"),
+		isa.MovI(8, isa.L1),
+	}
+	r := fill(t, prog)
+	if r.Filled != 0 {
+		t.Fatalf("shared target hoisted: %v", r.Insts)
+	}
+}
+
+func TestSemanticsPreservedModuloBranch(t *testing.T) {
+	// Execute both programs with CTIs skipped (straight-line view):
+	// architectural state must match, since the hoisted instruction is
+	// independent of everything after its original position.
+	prog := []isa.Inst{
+		isa.MovI(10, isa.O0),
+		isa.RIR(isa.ADD, isa.O0, 1, isa.O1),
+		isa.Store(isa.ST, isa.O1, isa.FP, -4), // leaf
+		isa.CmpI(isa.O0, 3),
+		isa.Branch(isa.BG, "L"),
+		isa.Nop(),
+		isa.MovI(9, isa.O3),
+	}
+	r := fill(t, prog)
+	if r.Filled != 1 {
+		t.Fatalf("expected a fill, got %d", r.Filled)
+	}
+	run := func(p []isa.Inst) *interp.State {
+		s := interp.NewState(7)
+		for i := range p {
+			if p[i].Op.IsCTI() {
+				continue
+			}
+			if err := s.Exec(&p[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	if a, b := run(prog), run(r.Insts); !a.Equal(b) {
+		t.Fatalf("state diverged: %s", a.Diff(b))
+	}
+}
+
+func TestMultipleSlots(t *testing.T) {
+	prog := []isa.Inst{
+		isa.MovI(1, isa.O0),
+		isa.MovI(2, isa.O1),
+		isa.Branch(isa.BA, "A"),
+		isa.Nop(),
+		isa.MovI(3, isa.O2),
+		isa.MovI(4, isa.O3),
+		isa.Branch(isa.BA, "B"),
+		isa.Nop(),
+	}
+	r := fill(t, prog)
+	if r.Filled != 2 || r.Candidates != 2 {
+		t.Fatalf("filled %d of %d", r.Filled, r.Candidates)
+	}
+	if len(r.Insts) != 6 {
+		t.Fatalf("length %d, want 6", len(r.Insts))
+	}
+}
+
+func TestNoSlotNoChange(t *testing.T) {
+	prog := []isa.Inst{
+		isa.MovI(1, isa.O0),
+		isa.Branch(isa.BA, "L"),
+		isa.MovI(2, isa.O1), // slot already useful
+	}
+	r := fill(t, prog)
+	if r.Filled != 0 || r.Candidates != 0 {
+		t.Fatal("useful slot should not be touched")
+	}
+	if len(r.Insts) != 3 {
+		t.Fatal("program changed")
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	r := fill(t, nil)
+	if len(r.Insts) != 0 || r.Filled != 0 {
+		t.Fatal("empty program mishandled")
+	}
+}

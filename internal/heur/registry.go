@@ -1,0 +1,202 @@
+// Package heur implements the 26 instruction-scheduling heuristics
+// surveyed in Table 1 of Smotherman et al. (MICRO-24, 1991), the static
+// annotation passes that compute them, and both intermediate-pass
+// mechanisms of Section 4 (level lists vs. a reverse walk of the
+// instruction list).
+//
+// The registry below is the paper's Table 1, kept live: the survey
+// tables printed by cmd/heursurvey are generated from these
+// descriptors, so the documentation cannot drift from the code. Static
+// values live in Annot; dynamic heuristics ("v" pass) are evaluated
+// inside package sched, which owns the scheduling state they depend on.
+package heur
+
+// Category is one of the six broad classifications of Section 1.
+type Category uint8
+
+const (
+	// StallBehavior heuristics attempt to avoid stall cycles.
+	StallBehavior Category = iota
+	// InstClass heuristics balance superscalar instruction classes.
+	InstClass
+	// CriticalPath heuristics identify instructions to schedule early.
+	CriticalPath
+	// Uncovering heuristics try to enlarge the candidate list.
+	Uncovering
+	// Structural heuristics balance progress through the DAG.
+	Structural
+	// RegisterUsage heuristics reduce register pressure before allocation.
+	RegisterUsage
+
+	// NumCategories is the count of heuristic categories.
+	NumCategories = int(RegisterUsage) + 1
+)
+
+// String returns the category name as Table 1 prints it.
+func (c Category) String() string {
+	switch c {
+	case StallBehavior:
+		return "stall behavior"
+	case InstClass:
+		return "inst. class"
+	case CriticalPath:
+		return "critical path"
+	case Uncovering:
+		return "uncovering"
+	case Structural:
+		return "structural"
+	case RegisterUsage:
+		return "register usage"
+	}
+	return "category?"
+}
+
+// Pass is Table 1's calculation-method code.
+type Pass uint8
+
+const (
+	// PassA : determined when a node or arc is added to the DAG.
+	PassA Pass = iota
+	// PassF : requires a forward pass over the basic block.
+	PassF
+	// PassB : requires a backward pass over the basic block.
+	PassB
+	// PassFB : requires both (slack).
+	PassFB
+	// PassV : requires node visitation during the scheduling pass.
+	PassV
+)
+
+// String returns the paper's single-letter code.
+func (p Pass) String() string {
+	switch p {
+	case PassA:
+		return "a"
+	case PassF:
+		return "f"
+	case PassB:
+		return "b"
+	case PassFB:
+		return "f+b"
+	case PassV:
+		return "v"
+	}
+	return "?"
+}
+
+// Key names a heuristic. Keys are stable identifiers used by scheduler
+// configurations (Table 2) and CLI flags.
+type Key string
+
+// The 26 heuristics of Table 1.
+const (
+	// Stall behavior.
+	InterlockWithPrev Key = "interlock-prev"  // interlock with previous instruction
+	EarliestExecTime  Key = "earliest-time"   // earliest execution time
+	InterlockChild    Key = "interlock-child" // interlock with child
+	ExecTime          Key = "exec-time"       // execution time
+
+	// Instruction class.
+	AlternateType Key = "alternate-type" // alternate type
+	FPUBusy       Key = "fpu-busy"       // busy times for flt. pt. function units
+
+	// Critical path.
+	MaxPathToLeaf    Key = "max-path-leaf"  // max path length to a leaf
+	MaxDelayToLeaf   Key = "max-delay-leaf" // max total delay to a leaf
+	MaxPathFromRoot  Key = "max-path-root"  // max path length from root
+	MaxDelayFromRoot Key = "max-delay-root" // max total delay from root
+	EarliestStart    Key = "est"            // earliest start time
+	LatestStart      Key = "lst"            // latest start time
+	Slack            Key = "slack"          // slack (= LST-EST)
+
+	// Uncovering.
+	NumChildren      Key = "num-children"      // #children
+	DelaysToChildren Key = "delays-children"   // φ delays to children
+	NumSingleParent  Key = "num-single-parent" // #single-parent children
+	DelaysSingleP    Key = "delays-single-par" // sum of delays to single-parent children
+	NumUncovered     Key = "num-uncovered"     // #uncovered children
+
+	// Structural.
+	NumParents        Key = "num-parents"     // #parents
+	DelaysFromParents Key = "delays-parents"  // φ delays from parents
+	NumDescendants    Key = "num-descendants" // #descendants
+	SumExecDesc       Key = "sum-exec-desc"   // sum of execution times of descendants
+
+	// Register usage.
+	RegsBorn   Key = "regs-born"   // #registers born
+	RegsKilled Key = "regs-killed" // #registers killed
+	Liveness   Key = "liveness"    // liveness
+	Birthing   Key = "birthing"    // birthing instruction
+
+	// OriginalOrder is not one of the 26 Table 1 heuristics but appears
+	// as the final tiebreak in Table 2's Tiemann and Warren rows.
+	OriginalOrder Key = "original-order"
+)
+
+// Descriptor is one Table 1 row.
+type Descriptor struct {
+	Key      Key
+	Name     string   // Table 1 wording
+	Category Category // six broad classifications
+	Timing   bool     // timing-based (right column) vs relationship-based
+	Pass     Pass     // calculation method
+	// TransitiveSensitive marks the "**" entries: "calculation is
+	// affected by the presence of transitive arcs".
+	TransitiveSensitive bool
+}
+
+// Registry is Table 1, in the paper's row order.
+var Registry = []Descriptor{
+	{InterlockWithPrev, "interlock with previous inst.", StallBehavior, false, PassV, false},
+	{EarliestExecTime, "earliest execution time", StallBehavior, true, PassV, true},
+	{InterlockChild, "interlock with child", StallBehavior, false, PassA, true},
+	{ExecTime, "execution time", StallBehavior, true, PassA, false},
+
+	{AlternateType, "alternate type", InstClass, false, PassV, false},
+	{FPUBusy, "busy times for flt. pt. function units", InstClass, true, PassV, false},
+
+	{MaxPathToLeaf, "max path length to a leaf", CriticalPath, false, PassB, false},
+	{MaxDelayToLeaf, "max total delay to a leaf", CriticalPath, true, PassB, false},
+	{MaxPathFromRoot, "max path length from root", CriticalPath, false, PassF, false},
+	{MaxDelayFromRoot, "max total delay from root", CriticalPath, true, PassF, false},
+	{EarliestStart, "earliest start time (EST)", CriticalPath, true, PassF, true},
+	{LatestStart, "latest start time (LST)", CriticalPath, true, PassB, true},
+	{Slack, "slack (= LST-EST)", CriticalPath, true, PassFB, true},
+
+	{NumChildren, "#children", Uncovering, false, PassA, true},
+	{DelaysToChildren, "φ delays to children", Uncovering, true, PassA, true},
+	{NumSingleParent, "#single-parent children", Uncovering, false, PassV, false},
+	{DelaysSingleP, "sum of delays to single-parent children", Uncovering, true, PassV, false},
+	{NumUncovered, "#uncovered children", Uncovering, false, PassV, false},
+
+	{NumParents, "#parents", Structural, false, PassA, true},
+	{DelaysFromParents, "φ delays from parents", Structural, true, PassA, true},
+	{NumDescendants, "#descendants", Structural, false, PassB, false},
+	{SumExecDesc, "sum of execution times of descendants", Structural, true, PassB, false},
+
+	{RegsBorn, "#registers born", RegisterUsage, false, PassA, false},
+	{RegsKilled, "#registers killed", RegisterUsage, false, PassA, false},
+	{Liveness, "liveness", RegisterUsage, false, PassA, false},
+	{Birthing, "birthing instruction", RegisterUsage, false, PassA, false},
+}
+
+// ByKey returns the descriptor for a key.
+func ByKey(k Key) (Descriptor, bool) {
+	for _, d := range Registry {
+		if d.Key == k {
+			return d, true
+		}
+	}
+	return Descriptor{}, false
+}
+
+// ByCategory returns Table 1's rows for one category, in order.
+func ByCategory(c Category) []Descriptor {
+	var out []Descriptor
+	for _, d := range Registry {
+		if d.Category == c {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,394 @@
+// Package interp is an architectural interpreter for the ISA's
+// straight-line subset. Its only job is to witness semantics: the test
+// suites run a basic block and a scheduled permutation of it from the
+// same initial state and require identical final state (registers,
+// condition codes, memory). A scheduler or DAG builder that drops a
+// dependence fails that property immediately.
+//
+// Floating-point registers hold 32-bit patterns exactly as on SPARC:
+// single-precision operations use one register, double-precision
+// operations combine an even/odd pair into one 64-bit value. Memory is
+// word-addressed at (base register value + offset); the initial state
+// places each potential base register in its own distant region, which
+// matches the resource model's treatment of distinct bases as disjoint
+// (see package resource).
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"daginsched/internal/isa"
+)
+
+// State is the architectural state.
+type State struct {
+	R   [32]uint32 // integer registers; R[0] is hardwired zero
+	F   [32]uint32 // FP registers (bit patterns)
+	ICC CC
+	FCC CC
+	Y   uint32
+	Mem map[uint32]uint32 // word-addressed memory
+}
+
+// CC is a condition-code value.
+type CC struct {
+	N, Z, V, C bool
+}
+
+// NewState returns a deterministic initial state seeded by seed. Base
+// registers are placed in widely separated memory regions and every
+// register gets a distinct value.
+func NewState(seed uint64) *State {
+	s := &State{Mem: make(map[uint32]uint32)}
+	x := seed*2862933555777941757 + 3037000493
+	next := func() uint32 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return uint32(x)
+	}
+	for i := 1; i < 32; i++ {
+		// Region base: register index in the top bits keeps regions
+		// disjoint; low bits small so offsets stay in-region.
+		s.R[i] = uint32(i)<<20 | next()&0x3fc
+	}
+	for i := 0; i < 32; i++ {
+		s.F[i] = math.Float32bits(float32(i+1) + float32(next()&0xff)/256)
+	}
+	s.Y = next()
+	return s
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := *s
+	c.Mem = make(map[uint32]uint32, len(s.Mem))
+	for k, v := range s.Mem {
+		c.Mem[k] = v
+	}
+	return &c
+}
+
+// Equal reports whether two states are architecturally identical.
+// Memory entries holding zero are treated as absent.
+func (s *State) Equal(o *State) bool {
+	if s.R != o.R || s.F != o.F || s.ICC != o.ICC || s.FCC != o.FCC || s.Y != o.Y {
+		return false
+	}
+	for k, v := range s.Mem {
+		if v != 0 && o.Mem[k] != v {
+			return false
+		}
+	}
+	for k, v := range o.Mem {
+		if v != 0 && s.Mem[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff describes the first difference between two states, for test
+// failure messages.
+func (s *State) Diff(o *State) string {
+	for i := 0; i < 32; i++ {
+		if s.R[i] != o.R[i] {
+			return fmt.Sprintf("%v: %#x vs %#x", isa.Reg(i), s.R[i], o.R[i])
+		}
+	}
+	for i := 0; i < 32; i++ {
+		if s.F[i] != o.F[i] {
+			return fmt.Sprintf("%v: %#x vs %#x", isa.F(i), s.F[i], o.F[i])
+		}
+	}
+	if s.ICC != o.ICC {
+		return fmt.Sprintf("%%icc: %+v vs %+v", s.ICC, o.ICC)
+	}
+	if s.FCC != o.FCC {
+		return fmt.Sprintf("%%fcc: %+v vs %+v", s.FCC, o.FCC)
+	}
+	if s.Y != o.Y {
+		return fmt.Sprintf("%%y: %#x vs %#x", s.Y, o.Y)
+	}
+	for k, v := range s.Mem {
+		if o.Mem[k] != v {
+			return fmt.Sprintf("mem[%#x]: %#x vs %#x", k, v, o.Mem[k])
+		}
+	}
+	for k, v := range o.Mem {
+		if s.Mem[k] != v {
+			return fmt.Sprintf("mem[%#x]: %#x vs %#x", k, s.Mem[k], v)
+		}
+	}
+	return "equal"
+}
+
+func (s *State) reg(r isa.Reg) uint32 {
+	if r == isa.RegNone || r == isa.G0 {
+		return 0
+	}
+	return s.R[r]
+}
+
+func (s *State) setReg(r isa.Reg, v uint32) {
+	if r == isa.RegNone || r == isa.G0 {
+		return
+	}
+	s.R[r] = v
+}
+
+func (s *State) addr(m isa.MemExpr) uint32 {
+	a := uint32(int32(m.Offset))
+	if m.Base != isa.RegNone {
+		a += s.reg(m.Base)
+	}
+	if m.Index != isa.RegNone {
+		a += s.reg(m.Index)
+	}
+	if m.Sym != "" {
+		a += symBase(m.Sym)
+	}
+	return a &^ 3 // word-align
+}
+
+// symBase hashes a symbol into its own memory region, above all
+// register regions.
+func symBase(sym string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(sym); i++ {
+		h = (h ^ uint32(sym[i])) * 16777619
+	}
+	return 1<<26 | h&^0xfc000003
+}
+
+func (s *State) fsingle(r isa.Reg) float32 {
+	return math.Float32frombits(s.F[r.FPNum()])
+}
+
+func (s *State) setFsingle(r isa.Reg, v float32) {
+	s.F[r.FPNum()] = math.Float32bits(v)
+}
+
+func (s *State) fdouble(r isa.Reg) float64 {
+	n := r.FPNum() &^ 1
+	bits := uint64(s.F[n])<<32 | uint64(s.F[n+1])
+	return math.Float64frombits(bits)
+}
+
+func (s *State) setFdouble(r isa.Reg, v float64) {
+	n := r.FPNum() &^ 1
+	bits := math.Float64bits(v)
+	s.F[n] = uint32(bits >> 32)
+	s.F[n+1] = uint32(bits)
+}
+
+func (s *State) setICC(res uint32, v, c bool) {
+	s.ICC = CC{N: int32(res) < 0, Z: res == 0, V: v, C: c}
+}
+
+// Exec executes one instruction. Control-transfer instructions and
+// register-window instructions return an error: the interpreter is for
+// straight-line block bodies.
+func (s *State) Exec(in *isa.Inst) error {
+	src2 := func() uint32 {
+		if in.HasImm {
+			return uint32(int32(in.Imm))
+		}
+		return s.reg(in.RS2)
+	}
+	switch in.Op {
+	case isa.NOP:
+	case isa.ADD, isa.MOV:
+		s.setReg(in.RD, s.reg(in.RS1)+src2())
+	case isa.ADDCC:
+		a, b := s.reg(in.RS1), src2()
+		r := a + b
+		s.setReg(in.RD, r)
+		s.setICC(r, (a>>31 == b>>31) && (r>>31 != a>>31), r < a)
+	case isa.SUB:
+		s.setReg(in.RD, s.reg(in.RS1)-src2())
+	case isa.SUBCC, isa.CMP:
+		a, b := s.reg(in.RS1), src2()
+		r := a - b
+		s.setReg(in.RD, r)
+		s.setICC(r, (a>>31 != b>>31) && (r>>31 != a>>31), a < b)
+	case isa.AND:
+		s.setReg(in.RD, s.reg(in.RS1)&src2())
+	case isa.ANDCC:
+		r := s.reg(in.RS1) & src2()
+		s.setReg(in.RD, r)
+		s.setICC(r, false, false)
+	case isa.OR:
+		s.setReg(in.RD, s.reg(in.RS1)|src2())
+	case isa.ORCC:
+		r := s.reg(in.RS1) | src2()
+		s.setReg(in.RD, r)
+		s.setICC(r, false, false)
+	case isa.XOR:
+		s.setReg(in.RD, s.reg(in.RS1)^src2())
+	case isa.XORCC:
+		r := s.reg(in.RS1) ^ src2()
+		s.setReg(in.RD, r)
+		s.setICC(r, false, false)
+	case isa.ANDN:
+		s.setReg(in.RD, s.reg(in.RS1)&^src2())
+	case isa.ORN:
+		s.setReg(in.RD, s.reg(in.RS1)|^src2())
+	case isa.XNOR:
+		s.setReg(in.RD, ^(s.reg(in.RS1) ^ src2()))
+	case isa.SLL:
+		s.setReg(in.RD, s.reg(in.RS1)<<(src2()&31))
+	case isa.SRL:
+		s.setReg(in.RD, s.reg(in.RS1)>>(src2()&31))
+	case isa.SRA:
+		s.setReg(in.RD, uint32(int32(s.reg(in.RS1))>>(src2()&31)))
+	case isa.SETHI:
+		s.setReg(in.RD, uint32(in.Imm)<<10)
+	case isa.SMUL:
+		p := int64(int32(s.reg(in.RS1))) * int64(int32(src2()))
+		s.setReg(in.RD, uint32(p))
+		s.Y = uint32(uint64(p) >> 32)
+	case isa.UMUL:
+		p := uint64(s.reg(in.RS1)) * uint64(src2())
+		s.setReg(in.RD, uint32(p))
+		s.Y = uint32(p >> 32)
+	case isa.SDIV:
+		d := int32(src2())
+		if d == 0 {
+			d = 1 // no trap modeling; keep deterministic
+		}
+		s.setReg(in.RD, uint32(int32(s.reg(in.RS1))/d))
+	case isa.UDIV:
+		d := src2()
+		if d == 0 {
+			d = 1
+		}
+		s.setReg(in.RD, s.reg(in.RS1)/d)
+	case isa.RDY:
+		s.setReg(in.RD, s.Y)
+
+	case isa.LD:
+		s.setReg(in.RD, s.Mem[s.addr(in.Mem)])
+	case isa.LDUB:
+		s.setReg(in.RD, s.Mem[s.addr(in.Mem)]&0xff)
+	case isa.LDSB:
+		s.setReg(in.RD, uint32(int32(int8(s.Mem[s.addr(in.Mem)]))))
+	case isa.LDUH:
+		s.setReg(in.RD, s.Mem[s.addr(in.Mem)]&0xffff)
+	case isa.LDSH:
+		s.setReg(in.RD, uint32(int32(int16(s.Mem[s.addr(in.Mem)]))))
+	case isa.LDD:
+		a := s.addr(in.Mem)
+		s.setReg(in.RD, s.Mem[a])
+		s.setReg(in.RD+1, s.Mem[a+4])
+	case isa.LDF:
+		s.F[in.RD.FPNum()] = s.Mem[s.addr(in.Mem)]
+	case isa.LDDF:
+		a := s.addr(in.Mem)
+		n := in.RD.FPNum() &^ 1
+		s.F[n] = s.Mem[a]
+		s.F[n+1] = s.Mem[a+4]
+	case isa.ST:
+		s.Mem[s.addr(in.Mem)] = s.reg(in.RD)
+	case isa.STB:
+		s.Mem[s.addr(in.Mem)] = s.reg(in.RD) & 0xff
+	case isa.STH:
+		s.Mem[s.addr(in.Mem)] = s.reg(in.RD) & 0xffff
+	case isa.STD:
+		a := s.addr(in.Mem)
+		s.Mem[a] = s.reg(in.RD)
+		s.Mem[a+4] = s.reg(in.RD + 1)
+	case isa.STF:
+		s.Mem[s.addr(in.Mem)] = s.F[in.RD.FPNum()]
+	case isa.STDF:
+		a := s.addr(in.Mem)
+		n := in.RD.FPNum() &^ 1
+		s.Mem[a] = s.F[n]
+		s.Mem[a+4] = s.F[n+1]
+
+	case isa.FADDS:
+		s.setFsingle(in.RD, s.fsingle(in.RS1)+s.fsingle(in.RS2))
+	case isa.FADDD:
+		s.setFdouble(in.RD, s.fdouble(in.RS1)+s.fdouble(in.RS2))
+	case isa.FSUBS:
+		s.setFsingle(in.RD, s.fsingle(in.RS1)-s.fsingle(in.RS2))
+	case isa.FSUBD:
+		s.setFdouble(in.RD, s.fdouble(in.RS1)-s.fdouble(in.RS2))
+	case isa.FMULS:
+		s.setFsingle(in.RD, s.fsingle(in.RS1)*s.fsingle(in.RS2))
+	case isa.FMULD:
+		s.setFdouble(in.RD, s.fdouble(in.RS1)*s.fdouble(in.RS2))
+	case isa.FDIVS:
+		s.setFsingle(in.RD, fdiv32(s.fsingle(in.RS1), s.fsingle(in.RS2)))
+	case isa.FDIVD:
+		s.setFdouble(in.RD, fdiv64(s.fdouble(in.RS1), s.fdouble(in.RS2)))
+	case isa.FSQRTS:
+		s.setFsingle(in.RD, float32(math.Sqrt(math.Abs(float64(s.fsingle(in.RS2))))))
+	case isa.FSQRTD:
+		s.setFdouble(in.RD, math.Sqrt(math.Abs(s.fdouble(in.RS2))))
+	case isa.FMOVS:
+		s.F[in.RD.FPNum()] = s.F[in.RS2.FPNum()]
+	case isa.FNEGS:
+		s.F[in.RD.FPNum()] = s.F[in.RS2.FPNum()] ^ 0x80000000
+	case isa.FABSS:
+		s.F[in.RD.FPNum()] = s.F[in.RS2.FPNum()] &^ 0x80000000
+	case isa.FITOS:
+		s.setFsingle(in.RD, float32(int32(s.F[in.RS2.FPNum()])))
+	case isa.FITOD:
+		s.setFdouble(in.RD, float64(int32(s.F[in.RS2.FPNum()])))
+	case isa.FSTOI:
+		s.F[in.RD.FPNum()] = uint32(int32(s.fsingle(in.RS2)))
+	case isa.FDTOI:
+		s.F[in.RD.FPNum()] = uint32(int32(s.fdouble(in.RS2)))
+	case isa.FSTOD:
+		s.setFdouble(in.RD, float64(s.fsingle(in.RS2)))
+	case isa.FDTOS:
+		s.setFsingle(in.RD, float32(s.fdouble(in.RS2)))
+	case isa.FCMPS:
+		a, b := s.fsingle(in.RS1), s.fsingle(in.RS2)
+		s.FCC = CC{N: a < b, Z: a == b, V: a != a || b != b}
+	case isa.FCMPD:
+		a, b := s.fdouble(in.RS1), s.fdouble(in.RS2)
+		s.FCC = CC{N: a < b, Z: a == b, V: a != a || b != b}
+
+	default:
+		return fmt.Errorf("interp: cannot execute %v in straight-line code", in.Op)
+	}
+	return nil
+}
+
+func fdiv32(a, b float32) float32 {
+	if b == 0 {
+		b = 1
+	}
+	return a / b
+}
+
+func fdiv64(a, b float64) float64 {
+	if b == 0 {
+		b = 1
+	}
+	return a / b
+}
+
+// Run executes a straight-line instruction sequence.
+func (s *State) Run(insts []isa.Inst) error {
+	for i := range insts {
+		if err := s.Exec(&insts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOrder executes a block's instructions in a permuted order given by
+// node indices.
+func (s *State) RunOrder(insts []isa.Inst, order []int32) error {
+	for _, i := range order {
+		if err := s.Exec(&insts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,353 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"daginsched/internal/block"
+	"daginsched/internal/dag"
+	"daginsched/internal/isa"
+	"daginsched/internal/machine"
+	"daginsched/internal/resource"
+	"daginsched/internal/sched"
+	"daginsched/internal/testgen"
+)
+
+func TestG0HardwiredZero(t *testing.T) {
+	s := NewState(1)
+	if err := s.Exec(&isa.Inst{Op: isa.ADD, RS1: isa.G1, RS2: isa.G2, RD: isa.G0, Mem: isa.NoMem}); err != nil {
+		t.Fatal(err)
+	}
+	if s.R[0] != 0 {
+		t.Fatal("write to g0 stuck")
+	}
+}
+
+func TestIntegerALU(t *testing.T) {
+	s := NewState(0)
+	s.R[isa.O0] = 10
+	s.R[isa.O1] = 3
+	prog := []isa.Inst{
+		isa.RRR(isa.ADD, isa.O0, isa.O1, isa.O2),  // 13
+		isa.RRR(isa.SUB, isa.O0, isa.O1, isa.O3),  // 7
+		isa.RIR(isa.SLL, isa.O0, 2, isa.O4),       // 40
+		isa.RRR(isa.XOR, isa.O0, isa.O1, isa.O5),  // 9
+		isa.RIR(isa.SRA, isa.O1, 1, isa.L0),       // 1
+		isa.MovI(-5, isa.L1),                      // 0xfffffffb
+		isa.RRR(isa.AND, isa.O0, isa.O1, isa.L2),  // 2
+		isa.RRR(isa.ANDN, isa.O0, isa.O1, isa.L3), // 8
+	}
+	if err := s.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	want := map[isa.Reg]uint32{
+		isa.O2: 13, isa.O3: 7, isa.O4: 40, isa.O5: 9,
+		isa.L0: 1, isa.L1: 0xfffffffb, isa.L2: 2, isa.L3: 8,
+	}
+	for r, v := range want {
+		if s.R[r] != v {
+			t.Errorf("%v = %#x, want %#x", r, s.R[r], v)
+		}
+	}
+}
+
+func TestCondCodes(t *testing.T) {
+	s := NewState(0)
+	s.R[isa.O0] = 5
+	s.R[isa.O1] = 5
+	if err := s.Exec(&isa.Inst{Op: isa.CMP, RS1: isa.O0, RS2: isa.O1, RD: isa.G0, Mem: isa.NoMem}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.ICC.Z || s.ICC.N {
+		t.Errorf("cmp equal: ICC = %+v", s.ICC)
+	}
+	s.R[isa.O1] = 9
+	_ = s.Exec(&isa.Inst{Op: isa.CMP, RS1: isa.O0, RS2: isa.O1, RD: isa.G0, Mem: isa.NoMem})
+	if s.ICC.Z || !s.ICC.N || !s.ICC.C {
+		t.Errorf("cmp less: ICC = %+v", s.ICC)
+	}
+}
+
+func TestMulDivY(t *testing.T) {
+	s := NewState(0)
+	s.R[isa.O0] = 0x10000
+	s.R[isa.O1] = 0x10000
+	prog := []isa.Inst{
+		isa.RRR(isa.UMUL, isa.O0, isa.O1, isa.O2),
+		{Op: isa.RDY, RS1: isa.RegNone, RS2: isa.RegNone, RD: isa.O3, Mem: isa.NoMem},
+	}
+	if err := s.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if s.R[isa.O2] != 0 || s.R[isa.O3] != 1 {
+		t.Errorf("umul: lo %#x y %#x", s.R[isa.O2], s.R[isa.O3])
+	}
+	// Division by zero is defined (no trap model): divisor forced to 1.
+	s.R[isa.O4] = 0
+	_ = s.Exec(&isa.Inst{Op: isa.UDIV, RS1: isa.O0, RS2: isa.O4, RD: isa.O5, Mem: isa.NoMem})
+	if s.R[isa.O5] != s.R[isa.O0] {
+		t.Error("udiv by zero should act as /1")
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	s := NewState(3)
+	s.R[isa.O0] = 0xdeadbeef
+	prog := []isa.Inst{
+		isa.Store(isa.ST, isa.O0, isa.FP, -8),
+		isa.Load(isa.LD, isa.FP, -8, isa.O1),
+		isa.Load(isa.LD, isa.FP, -12, isa.O2), // untouched slot reads 0
+	}
+	if err := s.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if s.R[isa.O1] != 0xdeadbeef {
+		t.Errorf("round trip = %#x", s.R[isa.O1])
+	}
+	if s.R[isa.O2] != 0 {
+		t.Errorf("cold memory = %#x", s.R[isa.O2])
+	}
+}
+
+func TestDistinctBasesDistinctRegions(t *testing.T) {
+	s := NewState(7)
+	s.R[isa.O0] = 1
+	prog := []isa.Inst{
+		isa.Store(isa.ST, isa.O0, isa.FP, -4),
+		isa.Load(isa.LD, isa.SP, -4, isa.O1),
+	}
+	if err := s.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if s.R[isa.O1] == 1 {
+		t.Error("stack regions of fp and sp must not overlap")
+	}
+}
+
+func TestSymbolAddressing(t *testing.T) {
+	s := NewState(4)
+	s.R[isa.O0] = 99
+	prog := []isa.Inst{
+		isa.StoreSym(isa.ST, isa.O0, "_counter", isa.G0, 0),
+		isa.LoadSym(isa.LD, "_counter", isa.G0, 0, isa.O1),
+		isa.LoadSym(isa.LD, "_other", isa.G0, 0, isa.O2),
+	}
+	if err := s.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if s.R[isa.O1] != 99 {
+		t.Errorf("symbol round trip = %d", s.R[isa.O1])
+	}
+	if s.R[isa.O2] == 99 {
+		t.Error("distinct symbols must not alias")
+	}
+}
+
+func TestDoublePrecisionPairs(t *testing.T) {
+	s := NewState(5)
+	s.setFdouble(isa.F(0), 1.5)
+	s.setFdouble(isa.F(2), 2.25)
+	prog := []isa.Inst{
+		isa.Fp3(isa.FADDD, isa.F(0), isa.F(2), isa.F(4)),
+		isa.Store(isa.STDF, isa.F(4), isa.FP, -16),
+		isa.Load(isa.LDDF, isa.FP, -16, isa.F(6)),
+	}
+	if err := s.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.fdouble(isa.F(4)); got != 3.75 {
+		t.Errorf("faddd = %v", got)
+	}
+	if got := s.fdouble(isa.F(6)); got != 3.75 {
+		t.Errorf("pair store/load = %v", got)
+	}
+	// The odd half must carry the low word: clobber it and observe.
+	// (3.75 has a zero low word, so flip bits rather than zeroing.)
+	s.F[7] ^= 0xdeadbeef
+	if s.fdouble(isa.F(6)) == 3.75 {
+		t.Error("odd half ignored by double read")
+	}
+}
+
+func TestFPCompare(t *testing.T) {
+	s := NewState(6)
+	s.setFsingle(isa.F(1), 1)
+	s.setFsingle(isa.F(2), 2)
+	_ = s.Exec(&isa.Inst{Op: isa.FCMPS, RS1: isa.F(1), RS2: isa.F(2), RD: isa.RegNone, Mem: isa.NoMem})
+	if !s.FCC.N || s.FCC.Z {
+		t.Errorf("fcmps 1<2: FCC = %+v", s.FCC)
+	}
+}
+
+func TestCTIRejected(t *testing.T) {
+	s := NewState(8)
+	br := isa.Branch(isa.BNE, "L")
+	if err := s.Exec(&br); err == nil {
+		t.Fatal("branch should be rejected in straight-line execution")
+	}
+	sv := isa.SaveI(-96)
+	if err := s.Exec(&sv); err == nil {
+		t.Fatal("save should be rejected")
+	}
+}
+
+func TestDiffNamesTheDivergence(t *testing.T) {
+	a := NewState(1)
+	b := a.Clone()
+	if a.Diff(b) != "equal" {
+		t.Fatalf("Diff of equal states = %q", a.Diff(b))
+	}
+	b.R[5] = a.R[5] + 1
+	if d := a.Diff(b); !strings.Contains(d, "%g5") {
+		t.Errorf("int reg diff = %q", d)
+	}
+	b = a.Clone()
+	b.F[3] ^= 1
+	if d := a.Diff(b); !strings.Contains(d, "%f3") {
+		t.Errorf("fp reg diff = %q", d)
+	}
+	b = a.Clone()
+	b.ICC.Z = !b.ICC.Z
+	if d := a.Diff(b); !strings.Contains(d, "icc") {
+		t.Errorf("icc diff = %q", d)
+	}
+	b = a.Clone()
+	b.Y++
+	if d := a.Diff(b); !strings.Contains(d, "%y") {
+		t.Errorf("y diff = %q", d)
+	}
+	b = a.Clone()
+	b.Mem[0x4000] = 7
+	if d := a.Diff(b); !strings.Contains(d, "mem[0x4000]") {
+		t.Errorf("mem diff = %q", d)
+	}
+}
+
+func TestFPDivideByZeroDefined(t *testing.T) {
+	s := NewState(2)
+	s.setFsingle(isa.F(1), 3)
+	s.setFsingle(isa.F(2), 0)
+	if err := s.Exec(&isa.Inst{Op: isa.FDIVS, RS1: isa.F(1), RS2: isa.F(2),
+		RD: isa.F(3), Mem: isa.NoMem}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.fsingle(isa.F(3)); got != 3 {
+		t.Errorf("fdivs by zero = %v, want /1 semantics", got)
+	}
+	s.setFdouble(isa.F(4), 5)
+	s.setFdouble(isa.F(6), 0)
+	if err := s.Exec(&isa.Inst{Op: isa.FDIVD, RS1: isa.F(4), RS2: isa.F(6),
+		RD: isa.F(8), Mem: isa.NoMem}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.fdouble(isa.F(8)); got != 5 {
+		t.Errorf("fdivd by zero = %v", got)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	s := NewState(9)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone differs: " + s.Diff(c))
+	}
+	c.R[5]++
+	if s.Equal(c) {
+		t.Fatal("mutated clone compares equal")
+	}
+	c.R[5]--
+	c.Mem[0x123450] = 7
+	if s.Equal(c) {
+		t.Fatal("memory write unnoticed")
+	}
+	s.Mem[0x123450] = 7
+	s.Mem[0x999990] = 0 // zero entries are immaterial
+	if !s.Equal(c) {
+		t.Fatal("zero memory entry broke equality: " + s.Diff(c))
+	}
+}
+
+// TestSchedulingPreservesSemantics is the system-wide soundness
+// property: every (builder × algorithm) combination must produce a
+// schedule that leaves the architectural state bit-identical to program
+// order.
+func TestSchedulingPreservesSemantics(t *testing.T) {
+	models := []*machine.Model{machine.Pipe1(), machine.FPU(), machine.Asym(), machine.Super2()}
+	for seed := int64(0); seed < 12; seed++ {
+		insts := testgen.Block(seed, 24)
+		ref := NewState(uint64(seed))
+		if err := ref.Run(insts); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range models {
+			for _, al := range sched.Table2() {
+				for _, bld := range dag.AllBuilders() {
+					b := &block.Block{Name: "t", Insts: insts}
+					rt := resource.NewTable(resource.MemExprModel)
+					rt.PrepareBlock(b.Insts)
+					d := bld.Build(b, m, rt)
+					r := al.Run(d, m)
+					got := NewState(uint64(seed))
+					if err := got.RunOrder(insts, r.Order); err != nil {
+						t.Fatal(err)
+					}
+					if !got.Equal(ref) {
+						t.Fatalf("seed %d, %s × %s on %s: state diverged: %s\norder %v",
+							seed, bld.Name(), al.Name, m.Name, got.Diff(ref), r.Order)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBranchAndBoundPreservesSemantics covers the optimal scheduler.
+func TestBranchAndBoundPreservesSemantics(t *testing.T) {
+	m := machine.Pipe1()
+	for seed := int64(20); seed < 30; seed++ {
+		insts := testgen.Block(seed, 10)
+		ref := NewState(uint64(seed))
+		if err := ref.Run(insts); err != nil {
+			t.Fatal(err)
+		}
+		b := &block.Block{Name: "t", Insts: insts}
+		rt := resource.NewTable(resource.MemExprModel)
+		rt.PrepareBlock(b.Insts)
+		d := dag.TableForward{}.Build(b, m, rt)
+		r := sched.BranchAndBound(d, m)
+		got := NewState(uint64(seed))
+		if err := got.RunOrder(insts, r.Order); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(ref) {
+			t.Fatalf("seed %d: optimal schedule diverged: %s", seed, got.Diff(ref))
+		}
+	}
+}
+
+// TestMemSingleModelAlsoSound: the conservative memory model must also
+// produce semantics-preserving schedules (it only adds arcs).
+func TestMemSingleModelAlsoSound(t *testing.T) {
+	m := machine.Pipe1()
+	for seed := int64(40); seed < 50; seed++ {
+		insts := testgen.Block(seed, 20)
+		ref := NewState(uint64(seed))
+		if err := ref.Run(insts); err != nil {
+			t.Fatal(err)
+		}
+		for _, model := range []resource.MemModel{resource.MemSingleModel, resource.MemClassModel} {
+			b := &block.Block{Name: "t", Insts: insts}
+			rt := resource.NewTable(model)
+			rt.PrepareBlock(b.Insts)
+			d := dag.TableBackward{}.Build(b, m, rt)
+			r := sched.Warren().Run(d, m)
+			got := NewState(uint64(seed))
+			if err := got.RunOrder(insts, r.Order); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(ref) {
+				t.Fatalf("seed %d model %v: diverged: %s", seed, model, got.Diff(ref))
+			}
+		}
+	}
+}

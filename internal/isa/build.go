@@ -1,0 +1,119 @@
+package isa
+
+// Constructors for building instructions programmatically. These are
+// used by the synthetic benchmark generator, the examples and the test
+// suites; the assembler in package asm produces the same Inst values
+// from text.
+
+// RRR builds a three-register ALU/FP instruction: op rs1, rs2, rd.
+func RRR(op Opcode, rs1, rs2, rd Reg) Inst {
+	return Inst{Op: op, RS1: rs1, RS2: rs2, RD: rd, Mem: NoMem}
+}
+
+// RIR builds a register/immediate ALU instruction: op rs1, imm, rd.
+func RIR(op Opcode, rs1 Reg, imm int32, rd Reg) Inst {
+	return Inst{Op: op, RS1: rs1, RS2: RegNone, Imm: imm, HasImm: true, RD: rd, Mem: NoMem}
+}
+
+// MovI builds mov imm, rd.
+func MovI(imm int32, rd Reg) Inst {
+	return Inst{Op: MOV, RS1: G0, RS2: RegNone, Imm: imm, HasImm: true, RD: rd, Mem: NoMem}
+}
+
+// MovR builds mov rs, rd.
+func MovR(rs, rd Reg) Inst {
+	return Inst{Op: MOV, RS1: G0, RS2: rs, RD: rd, Mem: NoMem}
+}
+
+// Sethi builds sethi %hi(imm), rd.
+func Sethi(imm int32, rd Reg) Inst {
+	return Inst{Op: SETHI, RS1: RegNone, RS2: RegNone, Imm: imm, HasImm: true, RD: rd, Mem: NoMem}
+}
+
+// Load builds a load: op [base+offset], rd.
+func Load(op Opcode, base Reg, offset int32, rd Reg) Inst {
+	return Inst{Op: op, RS1: RegNone, RS2: RegNone, RD: rd,
+		Mem: MemExpr{Base: base, Index: RegNone, Offset: offset}}
+}
+
+// LoadSym builds a load from static storage: op [sym+base+offset], rd.
+func LoadSym(op Opcode, sym string, base Reg, offset int32, rd Reg) Inst {
+	in := Load(op, base, offset, rd)
+	in.Mem.Sym = sym
+	return in
+}
+
+// Store builds a store: op rd, [base+offset].
+func Store(op Opcode, rd, base Reg, offset int32) Inst {
+	return Inst{Op: op, RS1: RegNone, RS2: RegNone, RD: rd,
+		Mem: MemExpr{Base: base, Index: RegNone, Offset: offset}}
+}
+
+// StoreSym builds a store to static storage: op rd, [sym+base+offset].
+func StoreSym(op Opcode, rd Reg, sym string, base Reg, offset int32) Inst {
+	in := Store(op, rd, base, offset)
+	in.Mem.Sym = sym
+	return in
+}
+
+// Branch builds a conditional or unconditional branch to target.
+func Branch(op Opcode, target string) Inst {
+	return Inst{Op: op, RS1: RegNone, RS2: RegNone, RD: RegNone, Target: target, Mem: NoMem}
+}
+
+// BranchA builds an annulled branch (",a") to target.
+func BranchA(op Opcode, target string) Inst {
+	in := Branch(op, target)
+	in.Annul = true
+	return in
+}
+
+// Call builds call target.
+func Call(target string) Inst {
+	return Inst{Op: CALL, RS1: RegNone, RS2: RegNone, RD: RegNone, Target: target, Mem: NoMem}
+}
+
+// Fp2 builds a two-operand FP instruction: op fs2, fd.
+func Fp2(op Opcode, fs2, fd Reg) Inst {
+	return Inst{Op: op, RS1: RegNone, RS2: fs2, RD: fd, Mem: NoMem}
+}
+
+// Fp3 builds a three-operand FP instruction: op fs1, fs2, fd.
+func Fp3(op Opcode, fs1, fs2, fd Reg) Inst {
+	return Inst{Op: op, RS1: fs1, RS2: fs2, RD: fd, Mem: NoMem}
+}
+
+// Fcmp builds fcmps/fcmpd fs1, fs2.
+func Fcmp(op Opcode, fs1, fs2 Reg) Inst {
+	return Inst{Op: op, RS1: fs1, RS2: fs2, RD: RegNone, Mem: NoMem}
+}
+
+// Cmp builds cmp rs1, rs2.
+func Cmp(rs1, rs2 Reg) Inst {
+	return Inst{Op: CMP, RS1: rs1, RS2: rs2, RD: G0, Mem: NoMem}
+}
+
+// CmpI builds cmp rs1, imm.
+func CmpI(rs1 Reg, imm int32) Inst {
+	return Inst{Op: CMP, RS1: rs1, RS2: RegNone, Imm: imm, HasImm: true, RD: G0, Mem: NoMem}
+}
+
+// Nop builds a nop.
+func Nop() Inst {
+	return Inst{Op: NOP, RS1: RegNone, RS2: RegNone, RD: RegNone, Mem: NoMem}
+}
+
+// SaveI builds save %sp, imm, %sp (standard prologue form).
+func SaveI(imm int32) Inst {
+	return Inst{Op: SAVE, RS1: SP, RS2: RegNone, Imm: imm, HasImm: true, RD: SP, Mem: NoMem}
+}
+
+// Restore builds restore %g0, %g0, %g0.
+func Restore() Inst {
+	return Inst{Op: RESTORE, RS1: G0, RS2: G0, RD: G0, Mem: NoMem}
+}
+
+// Ret builds the synthetic ret.
+func Ret() Inst {
+	return Inst{Op: RET, RS1: RegNone, RS2: RegNone, RD: RegNone, Mem: NoMem}
+}

@@ -1,0 +1,330 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MemExpr is a symbolic memory address expression as it appears in a
+// load or store: [base + offset] or [base + index]. The paper counts
+// "unique memory expressions" per basic block (Table 3) and makes them
+// the unit of memory disambiguation: two references with the same base
+// register but different offsets cannot alias, while references with
+// different base registers must be serialized unless their storage
+// classes are known not to overlap (Warren's observation).
+type MemExpr struct {
+	Base   Reg   // base register (RegNone for absolute/symbol addressing)
+	Index  Reg   // optional index register (RegNone if absent)
+	Offset int32 // constant displacement
+	Sym    string
+	// Sym is an optional symbolic label ("_errno", ".L42"); when
+	// non-empty the expression addresses static storage.
+}
+
+// HasIndex reports whether the expression uses a register index.
+func (m MemExpr) HasIndex() bool { return m.Index != RegNone }
+
+// String renders the expression in assembly syntax.
+func (m MemExpr) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	wrote := false
+	if m.Sym != "" {
+		b.WriteString(m.Sym)
+		wrote = true
+	}
+	if m.Base != RegNone && m.Base != G0 {
+		if wrote {
+			b.WriteByte('+')
+		}
+		b.WriteString(m.Base.String())
+		wrote = true
+	}
+	if m.Index != RegNone {
+		if wrote {
+			b.WriteByte('+')
+		}
+		b.WriteString(m.Index.String())
+		wrote = true
+	}
+	if m.Offset != 0 || !wrote {
+		if m.Offset >= 0 && wrote {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%d", m.Offset)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Key returns a canonical string identifying the symbolic expression.
+// Two loads/stores have the same "unique memory expression" (Table 3's
+// last column) exactly when their Keys are equal.
+func (m MemExpr) Key() string {
+	return fmt.Sprintf("%s|%d|%d|%d", m.Sym, m.Base, m.Index, m.Offset)
+}
+
+// wordAfter returns the expression one memory word (4 bytes) later —
+// the second word of a double-word access.
+func (m MemExpr) wordAfter() MemExpr {
+	m.Offset += 4
+	return m
+}
+
+// NoMem is the zero-ish MemExpr used for non-memory instructions.
+var NoMem = MemExpr{Base: RegNone, Index: RegNone}
+
+// Inst is one machine instruction. The representation is format-tagged
+// (see Opcode.Format): register fields that a format does not use hold
+// RegNone.
+type Inst struct {
+	Op     Opcode
+	RS1    Reg     // first source register
+	RS2    Reg     // second source register (when HasImm is false)
+	RD     Reg     // destination register
+	Imm    int32   // immediate second operand (when HasImm is true)
+	HasImm bool    // instruction uses Imm instead of RS2
+	Mem    MemExpr // memory expression for loads and stores
+	Target string  // branch/call target label
+	Annul  bool    // ",a" annulled branch
+	Label  string  // label defined on this instruction, if any
+	Index  int     // position in the original instruction stream
+}
+
+// Class returns the instruction's class.
+func (in *Inst) Class() Class { return in.Op.Class() }
+
+// String renders the instruction in assembly syntax (without its label).
+func (in *Inst) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	if in.Op.IsBranch() && in.Annul {
+		b.WriteString(",a")
+	}
+	switch in.Op.Format() {
+	case FmtNone:
+		// nothing
+	case Fmt3:
+		switch in.Op {
+		case MOV: // synthetic: or %g0, src2, rd
+			fmt.Fprintf(&b, " %s, %s", in.src2(), in.RD)
+		case CMP: // synthetic: subcc rs1, src2, %g0
+			fmt.Fprintf(&b, " %s, %s", in.RS1, in.src2())
+		default:
+			fmt.Fprintf(&b, " %s, %s, %s", in.RS1, in.src2(), in.RD)
+		}
+	case FmtLoad:
+		fmt.Fprintf(&b, " %s, %s", in.Mem, in.RD)
+	case FmtStore:
+		fmt.Fprintf(&b, " %s, %s", in.RD, in.Mem)
+	case FmtBranch:
+		fmt.Fprintf(&b, " %s", in.Target)
+	case FmtCall:
+		fmt.Fprintf(&b, " %s", in.Target)
+	case FmtSethi:
+		fmt.Fprintf(&b, " %%hi(%d), %s", in.Imm, in.RD)
+	case FmtFp2:
+		fmt.Fprintf(&b, " %s, %s", in.RS2, in.RD)
+	case FmtFp3:
+		fmt.Fprintf(&b, " %s, %s, %s", in.RS1, in.RS2, in.RD)
+	case FmtFcmp:
+		fmt.Fprintf(&b, " %s, %s", in.RS1, in.RS2)
+	case FmtJmpl:
+		fmt.Fprintf(&b, " %s+%d, %s", in.RS1, in.Imm, in.RD)
+	case FmtRdY:
+		fmt.Fprintf(&b, " %%y, %s", in.RD)
+	}
+	return b.String()
+}
+
+func (in *Inst) src2() string {
+	if in.HasImm {
+		return fmt.Sprintf("%d", in.Imm)
+	}
+	return in.RS2.String()
+}
+
+// ResKind classifies a resource reference.
+type ResKind uint8
+
+const (
+	// RReg is an integer register.
+	RReg ResKind = iota
+	// RFReg is a floating-point register.
+	RFReg
+	// RCC is a condition-code register (%icc or %fcc).
+	RCC
+	// RY is the %y register.
+	RY
+	// RMem is a memory location named by a symbolic expression.
+	RMem
+)
+
+// ResRef is one resource use or definition extracted from an
+// instruction. Slot records the source-operand position (0-based within
+// the instruction's use list); the machine model can key RAW delays on
+// it to model asymmetric bypass paths (the paper's RS/6000 example).
+type ResRef struct {
+	Kind ResKind
+	Reg  Reg     // for RReg / RFReg / RCC / RY
+	Mem  MemExpr // for RMem
+	Slot uint8
+}
+
+// String renders the reference for debugging.
+func (r ResRef) String() string {
+	if r.Kind == RMem {
+		return "mem" + r.Mem.String()
+	}
+	return r.Reg.String()
+}
+
+func regRef(r Reg, slot uint8) ResRef {
+	k := RReg
+	switch {
+	case r.IsFP():
+		k = RFReg
+	case r.IsCC():
+		k = RCC
+	case r == Y:
+		k = RY
+	}
+	return ResRef{Kind: k, Reg: r, Slot: slot}
+}
+
+// appendReg appends a register reference unless it is %g0 (hardwired
+// zero: reads and writes of %g0 create no dependence) or RegNone.
+func appendReg(dst []ResRef, r Reg, slot uint8) []ResRef {
+	if r == G0 || r == RegNone {
+		return dst
+	}
+	return append(dst, regRef(r, slot))
+}
+
+// appendPair appends r and, for pair instructions, its odd partner.
+// Both halves get the same operand slot: they arrive on the same port.
+func appendPair(dst []ResRef, r Reg, pair bool, slot uint8) []ResRef {
+	dst = appendReg(dst, r, slot)
+	if pair && r != G0 && r != RegNone {
+		dst = appendReg(dst, r+1, slot)
+	}
+	return dst
+}
+
+// AppendUses appends the resources read by in to dst and returns the
+// extended slice. Slots number the uses in order of appearance.
+func (in *Inst) AppendUses(dst []ResRef) []ResRef {
+	slot := uint8(0)
+	add := func(r Reg, pair bool) {
+		n := len(dst)
+		dst = appendPair(dst, r, pair, slot)
+		if len(dst) > n {
+			slot++
+		}
+	}
+	info := &opTable[in.Op]
+	switch info.fmt {
+	case Fmt3:
+		add(in.RS1, false)
+		if !in.HasImm {
+			add(in.RS2, false)
+		}
+	case FmtLoad:
+		add(in.Mem.Base, false)
+		add(in.Mem.Index, false)
+		dst = append(dst, ResRef{Kind: RMem, Mem: in.Mem, Slot: slot})
+		if info.pair {
+			// A double-word access touches two memory words; emitting
+			// both keeps "same base, different offset" disambiguation
+			// sound when single- and double-word accesses overlap.
+			dst = append(dst, ResRef{Kind: RMem, Mem: in.Mem.wordAfter(), Slot: slot})
+		}
+		slot++
+	case FmtStore:
+		add(in.RD, info.pair) // store data
+		add(in.Mem.Base, false)
+		add(in.Mem.Index, false)
+	case FmtFp2:
+		add(in.RS2, info.pair)
+	case FmtFp3:
+		add(in.RS1, info.pair)
+		add(in.RS2, info.pair)
+	case FmtFcmp:
+		add(in.RS1, info.pair)
+		add(in.RS2, info.pair)
+	case FmtJmpl:
+		add(in.RS1, false)
+	case FmtRdY:
+		add(Y, false)
+	case FmtBranch, FmtCall, FmtSethi, FmtNone:
+		// handled below / no register uses
+	}
+	switch info.cc {
+	case ccUseI:
+		dst = append(dst, ResRef{Kind: RCC, Reg: ICC, Slot: slot})
+	case ccUseF:
+		dst = append(dst, ResRef{Kind: RCC, Reg: FCC, Slot: slot})
+	}
+	if in.Op == RET {
+		dst = appendReg(dst, I7, slot)
+	}
+	if in.Op == RETL {
+		dst = appendReg(dst, O7, slot)
+	}
+	return dst
+}
+
+// AppendDefs appends the resources written by in to dst and returns the
+// extended slice. For pair instructions both halves of the destination
+// pair are distinct definitions; the machine model gives the odd half a
+// skewed RAW delay (Section 2: "the RAW delays for these registers can
+// be one or two cycles different").
+func (in *Inst) AppendDefs(dst []ResRef) []ResRef {
+	info := &opTable[in.Op]
+	switch info.fmt {
+	case Fmt3, FmtSethi, FmtJmpl, FmtRdY:
+		dst = appendReg(dst, in.RD, 0)
+	case FmtLoad:
+		dst = appendPair(dst, in.RD, info.pair, 0)
+	case FmtStore:
+		dst = append(dst, ResRef{Kind: RMem, Mem: in.Mem})
+		if info.pair {
+			dst = append(dst, ResRef{Kind: RMem, Mem: in.Mem.wordAfter()})
+		}
+	case FmtFp2, FmtFp3:
+		dst = appendPair(dst, in.RD, info.pair, 0)
+	case FmtCall:
+		dst = appendReg(dst, O7, 0)
+	case FmtBranch, FmtFcmp, FmtNone:
+		// no register destinations
+	}
+	switch info.cc {
+	case ccDefI:
+		dst = append(dst, ResRef{Kind: RCC, Reg: ICC})
+	case ccDefF:
+		dst = append(dst, ResRef{Kind: RCC, Reg: FCC})
+	}
+	switch in.Op {
+	case SMUL, UMUL, SDIV, UDIV:
+		dst = append(dst, ResRef{Kind: RY, Reg: Y})
+	}
+	return dst
+}
+
+// Uses returns a fresh slice of the resources read by in.
+func (in *Inst) Uses() []ResRef { return in.AppendUses(nil) }
+
+// Defs returns a fresh slice of the resources written by in.
+func (in *Inst) Defs() []ResRef { return in.AppendDefs(nil) }
+
+// PairSecondDef reports whether the i'th definition returned by
+// AppendDefs is the odd (second) half of a destination register pair.
+func (in *Inst) PairSecondDef(def ResRef) bool {
+	if !opTable[in.Op].pair {
+		return false
+	}
+	if def.Kind != RReg && def.Kind != RFReg {
+		return false
+	}
+	return def.Reg == in.RD+1
+}

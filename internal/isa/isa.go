@@ -1,0 +1,212 @@
+// Package isa defines a SPARC-like instruction set sufficient to
+// reproduce the instruction-scheduling study of Smotherman et al.
+// (MICRO-24, 1991). The paper's benchmarks were SPARC assembly emitted
+// by SunOS compilers; this package models every ISA feature the paper's
+// dependence analysis relies on:
+//
+//   - integer and floating-point register files, with register *pairs*
+//     for double-word loads/stores and double-precision arithmetic
+//     (the source of per-child RAW-delay skew in Section 2),
+//   - condition codes (%icc, %fcc) as schedulable resources,
+//   - symbolic memory expressions (base register + offset) on loads and
+//     stores, the unit of the paper's memory disambiguation,
+//   - control-transfer instructions with annullable delay slots, and
+//     SAVE/RESTORE register-window instructions that end basic blocks.
+//
+// The package is purely representational: instruction latencies and
+// per-arc dependence delays live in package machine, and resource
+// interning lives in package resource.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Integer registers occupy 0..31
+// (%g0..%g7, %o0..%o7, %l0..%l7, %i0..%i7), floating-point registers
+// 32..63 (%f0..%f31), and the special resources %icc, %fcc and %y
+// follow. RegNone marks an unused register field.
+type Reg uint8
+
+const (
+	// Integer registers.
+	G0 Reg = iota
+	G1
+	G2
+	G3
+	G4
+	G5
+	G6
+	G7
+	O0
+	O1
+	O2
+	O3
+	O4
+	O5
+	SP // %o6, the stack pointer
+	O7
+	L0
+	L1
+	L2
+	L3
+	L4
+	L5
+	L6
+	L7
+	I0
+	I1
+	I2
+	I3
+	I4
+	I5
+	FP // %i6, the frame pointer
+	I7
+)
+
+// F0 is the first floating-point register; %f0..%f31 occupy 32..63.
+const F0 Reg = 32
+
+const (
+	// NumIntRegs is the count of integer registers.
+	NumIntRegs = 32
+	// NumFPRegs is the count of floating-point registers.
+	NumFPRegs = 32
+
+	// ICC is the integer condition-code register.
+	ICC Reg = 64
+	// FCC is the floating-point condition-code register.
+	FCC Reg = 65
+	// Y is the multiply/divide Y register.
+	Y Reg = 66
+
+	// RegNone marks an absent register operand.
+	RegNone Reg = 255
+)
+
+// F returns the floating-point register %f<n>.
+func F(n int) Reg {
+	if n < 0 || n >= NumFPRegs {
+		panic(fmt.Sprintf("isa: bad fp register number %d", n))
+	}
+	return Reg(32 + n)
+}
+
+// R returns the integer register %r<n> in the flat 0..31 numbering.
+func R(n int) Reg {
+	if n < 0 || n >= NumIntRegs {
+		panic(fmt.Sprintf("isa: bad int register number %d", n))
+	}
+	return Reg(n)
+}
+
+// IsInt reports whether r is an integer register.
+func (r Reg) IsInt() bool { return r < 32 }
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= 32 && r < 64 }
+
+// IsCC reports whether r is a condition-code register.
+func (r Reg) IsCC() bool { return r == ICC || r == FCC }
+
+// FPNum returns n for %f<n>. It panics if r is not a floating-point register.
+func (r Reg) FPNum() int {
+	if !r.IsFP() {
+		panic("isa: FPNum on non-FP register")
+	}
+	return int(r - 32)
+}
+
+var intRegNames = [32]string{
+	"%g0", "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7",
+	"%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%sp", "%o7",
+	"%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+	"%i0", "%i1", "%i2", "%i3", "%i4", "%i5", "%fp", "%i7",
+}
+
+// String returns the assembly name of the register.
+func (r Reg) String() string {
+	switch {
+	case r < 32:
+		return intRegNames[r]
+	case r.IsFP():
+		return fmt.Sprintf("%%f%d", r-32)
+	case r == ICC:
+		return "%icc"
+	case r == FCC:
+		return "%fcc"
+	case r == Y:
+		return "%y"
+	case r == RegNone:
+		return "%none"
+	}
+	return fmt.Sprintf("%%r?%d", uint8(r))
+}
+
+// ParseReg parses an assembly register name ("%o3", "%f12", "%sp"...).
+func ParseReg(s string) (Reg, error) {
+	for i, n := range intRegNames {
+		if s == n {
+			return Reg(i), nil
+		}
+	}
+	switch s {
+	case "%o6":
+		return SP, nil
+	case "%i6":
+		return FP, nil
+	case "%icc":
+		return ICC, nil
+	case "%fcc":
+		return FCC, nil
+	case "%y":
+		return Y, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "%%f%d", &n); err == nil && n >= 0 && n < 32 && fmt.Sprintf("%%f%d", n) == s {
+		return F(n), nil
+	}
+	if _, err := fmt.Sscanf(s, "%%r%d", &n); err == nil && n >= 0 && n < 32 && fmt.Sprintf("%%r%d", n) == s {
+		return R(n), nil
+	}
+	return RegNone, fmt.Errorf("isa: unknown register %q", s)
+}
+
+// Class is a coarse instruction class. It drives function-unit
+// assignment (structural hazards, the paper's "busy times for floating
+// point function units" heuristic) and the superscalar "alternate type"
+// heuristic.
+type Class uint8
+
+const (
+	ClassIU     Class = iota // integer ALU
+	ClassMul                 // integer multiply/divide (multi-cycle)
+	ClassLoad                // memory load
+	ClassStore               // memory store
+	ClassFPA                 // FP add/sub/compare/convert/move
+	ClassFPM                 // FP multiply
+	ClassFPD                 // FP divide / sqrt (long, non-pipelined on FPU model)
+	ClassBranch              // conditional and unconditional branches
+	ClassCall                // call / jmpl / ret
+	ClassWindow              // SAVE / RESTORE
+	ClassMisc                // nop and friends
+
+	// NumClasses is the count of instruction classes.
+	NumClasses = int(ClassMisc) + 1
+)
+
+var classNames = [NumClasses]string{
+	"IU", "MUL", "LD", "ST", "FPA", "FPM", "FPD", "BR", "CALL", "WIN", "MISC",
+}
+
+// String returns a short class mnemonic.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class?%d", uint8(c))
+}
+
+// IsFP reports whether the class executes on a floating-point unit.
+func (c Class) IsFP() bool { return c == ClassFPA || c == ClassFPM || c == ClassFPD }
+
+// IsCTI reports whether the class is a control-transfer instruction.
+func (c Class) IsCTI() bool { return c == ClassBranch || c == ClassCall }

@@ -1,0 +1,439 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func refs(rs []ResRef) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.String()
+	}
+	return out
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		name string
+	}{
+		{G0, "%g0"}, {O7, "%o7"}, {SP, "%sp"}, {FP, "%fp"},
+		{L3, "%l3"}, {I5, "%i5"}, {F(0), "%f0"}, {F(31), "%f31"},
+		{ICC, "%icc"}, {FCC, "%fcc"}, {Y, "%y"},
+	}
+	for _, c := range cases {
+		if c.r.String() != c.name {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, c.r.String(), c.name)
+		}
+		got, err := ParseReg(c.name)
+		if err != nil || got != c.r {
+			t.Errorf("ParseReg(%q) = %v, %v; want %v", c.name, got, err, c.r)
+		}
+	}
+}
+
+func TestParseRegAliases(t *testing.T) {
+	if r, err := ParseReg("%o6"); err != nil || r != SP {
+		t.Error("o6 should parse as sp")
+	}
+	if r, err := ParseReg("%i6"); err != nil || r != FP {
+		t.Error("i6 should parse as fp")
+	}
+	if r, err := ParseReg("%r17"); err != nil || r != L1 {
+		t.Errorf("%%r17 should parse as %%l1, got %v %v", r, err)
+	}
+	if _, err := ParseReg("%f32"); err == nil {
+		t.Error("f32 should not parse")
+	}
+	if _, err := ParseReg("bogus"); err == nil {
+		t.Error("bogus register should not parse")
+	}
+}
+
+func TestParseRegRoundTripQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		r := Reg(n)
+		if r == RegNone || (r > Y && r != RegNone) {
+			return true // not a nameable register
+		}
+		if r >= 64 && r != ICC && r != FCC && r != Y {
+			return true
+		}
+		got, err := ParseReg(r.String())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegPredicates(t *testing.T) {
+	if !G5.IsInt() || G5.IsFP() || G5.IsCC() {
+		t.Error("G5 predicates wrong")
+	}
+	if F(4).IsInt() || !F(4).IsFP() {
+		t.Error("F4 predicates wrong")
+	}
+	if !ICC.IsCC() || !FCC.IsCC() || G1.IsCC() {
+		t.Error("CC predicates wrong")
+	}
+	if F(7).FPNum() != 7 {
+		t.Error("FPNum wrong")
+	}
+}
+
+func TestOpcodeTableComplete(t *testing.T) {
+	for op := 0; op < NumOpcodes; op++ {
+		if opTable[op].name == "" {
+			t.Errorf("opcode %d has no table entry", op)
+		}
+	}
+	seen := map[string]Opcode{}
+	for op := 0; op < NumOpcodes; op++ {
+		n := opTable[op].name
+		if prev, dup := seen[n]; dup {
+			t.Errorf("mnemonic %q used by both %d and %d", n, prev, op)
+		}
+		seen[n] = Opcode(op)
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for op := 0; op < NumOpcodes; op++ {
+		got, ok := OpcodeByName(Opcode(op).String())
+		if !ok || got != Opcode(op) {
+			t.Errorf("OpcodeByName(%q) = %v, %v", Opcode(op).String(), got, ok)
+		}
+	}
+	if _, ok := OpcodeByName("frobnicate"); ok {
+		t.Error("unknown mnemonic resolved")
+	}
+}
+
+func TestClassAssignments(t *testing.T) {
+	cases := []struct {
+		op Opcode
+		c  Class
+	}{
+		{ADD, ClassIU}, {SMUL, ClassMul}, {LD, ClassLoad}, {ST, ClassStore},
+		{FADDD, ClassFPA}, {FMULD, ClassFPM}, {FDIVD, ClassFPD}, {FSQRTD, ClassFPD},
+		{BNE, ClassBranch}, {CALL, ClassCall}, {SAVE, ClassWindow}, {NOP, ClassMisc},
+	}
+	for _, c := range cases {
+		if c.op.Class() != c.c {
+			t.Errorf("%v.Class() = %v, want %v", c.op, c.op.Class(), c.c)
+		}
+	}
+	if !ClassFPD.IsFP() || ClassIU.IsFP() {
+		t.Error("Class.IsFP wrong")
+	}
+	if !ClassBranch.IsCTI() || !ClassCall.IsCTI() || ClassLoad.IsCTI() {
+		t.Error("Class.IsCTI wrong")
+	}
+}
+
+func TestEndsBlock(t *testing.T) {
+	for _, op := range []Opcode{BA, BNE, FBE, CALL, JMPL, RET, RETL, SAVE, RESTORE} {
+		if !op.EndsBlock() {
+			t.Errorf("%v should end a block", op)
+		}
+	}
+	for _, op := range []Opcode{ADD, LD, ST, FDIVD, NOP, CMP} {
+		if op.EndsBlock() {
+			t.Errorf("%v should not end a block", op)
+		}
+	}
+}
+
+func TestDefUseALU(t *testing.T) {
+	in := RRR(ADD, G1, G2, G3)
+	if !eqStrings(refs(in.Uses()), []string{"%g1", "%g2"}) {
+		t.Errorf("add uses = %v", refs(in.Uses()))
+	}
+	if !eqStrings(refs(in.Defs()), []string{"%g3"}) {
+		t.Errorf("add defs = %v", refs(in.Defs()))
+	}
+}
+
+func TestDefUseImmediate(t *testing.T) {
+	in := RIR(ADD, G1, 4, G3)
+	if !eqStrings(refs(in.Uses()), []string{"%g1"}) {
+		t.Errorf("add-imm uses = %v", refs(in.Uses()))
+	}
+}
+
+func TestG0NeverAResource(t *testing.T) {
+	in := RRR(ADD, G0, G0, G0)
+	if len(in.Uses()) != 0 || len(in.Defs()) != 0 {
+		t.Errorf("adds through %%g0 should have no resources: uses=%v defs=%v",
+			refs(in.Uses()), refs(in.Defs()))
+	}
+	cmp := Cmp(G1, G2) // rd is %g0 but cc is defined
+	if !eqStrings(refs(cmp.Defs()), []string{"%icc"}) {
+		t.Errorf("cmp defs = %v", refs(cmp.Defs()))
+	}
+}
+
+func TestDefUseLoad(t *testing.T) {
+	in := Load(LD, FP, -8, O0)
+	uses := refs(in.Uses())
+	if !eqStrings(uses, []string{"%fp", "mem[%fp-8]"}) {
+		t.Errorf("ld uses = %v", uses)
+	}
+	if !eqStrings(refs(in.Defs()), []string{"%o0"}) {
+		t.Errorf("ld defs = %v", refs(in.Defs()))
+	}
+}
+
+func TestDefUseStore(t *testing.T) {
+	in := Store(ST, O0, FP, -8)
+	if !eqStrings(refs(in.Uses()), []string{"%o0", "%fp"}) {
+		t.Errorf("st uses = %v", refs(in.Uses()))
+	}
+	if !eqStrings(refs(in.Defs()), []string{"mem[%fp-8]"}) {
+		t.Errorf("st defs = %v", refs(in.Defs()))
+	}
+}
+
+func TestDefUsePairLoad(t *testing.T) {
+	in := Load(LDDF, SP, 16, F(2))
+	defs := refs(in.Defs())
+	if !eqStrings(defs, []string{"%f2", "%f3"}) {
+		t.Errorf("lddf defs = %v; pair must define both halves", defs)
+	}
+	if !in.PairSecondDef(in.Defs()[1]) {
+		t.Error("PairSecondDef should identify f3")
+	}
+	if in.PairSecondDef(in.Defs()[0]) {
+		t.Error("PairSecondDef misidentifies f2")
+	}
+}
+
+func TestDefUsePairArith(t *testing.T) {
+	in := Fp3(FADDD, F(0), F(2), F(4))
+	uses := refs(in.Uses())
+	if !eqStrings(uses, []string{"%f0", "%f1", "%f2", "%f3"}) {
+		t.Errorf("faddd uses = %v", uses)
+	}
+	if !eqStrings(refs(in.Defs()), []string{"%f4", "%f5"}) {
+		t.Errorf("faddd defs = %v", refs(in.Defs()))
+	}
+	// Pair halves share an operand slot; distinct operands get distinct slots.
+	u := in.Uses()
+	if u[0].Slot != u[1].Slot || u[2].Slot != u[3].Slot || u[0].Slot == u[2].Slot {
+		t.Errorf("faddd slots = %v %v %v %v", u[0].Slot, u[1].Slot, u[2].Slot, u[3].Slot)
+	}
+}
+
+func TestDefUseCondCodes(t *testing.T) {
+	sub := RRR(SUBCC, O0, O1, O2)
+	if !eqStrings(refs(sub.Defs()), []string{"%o2", "%icc"}) {
+		t.Errorf("subcc defs = %v", refs(sub.Defs()))
+	}
+	br := Branch(BNE, "L1")
+	if !eqStrings(refs(br.Uses()), []string{"%icc"}) {
+		t.Errorf("bne uses = %v", refs(br.Uses()))
+	}
+	fc := Fcmp(FCMPD, F(0), F(2))
+	if !eqStrings(refs(fc.Defs()), []string{"%fcc"}) {
+		t.Errorf("fcmpd defs = %v", refs(fc.Defs()))
+	}
+	fb := Branch(FBL, "L2")
+	if !eqStrings(refs(fb.Uses()), []string{"%fcc"}) {
+		t.Errorf("fbl uses = %v", refs(fb.Uses()))
+	}
+}
+
+func TestDefUseCall(t *testing.T) {
+	c := Call("_printf")
+	if !eqStrings(refs(c.Defs()), []string{"%o7"}) {
+		t.Errorf("call defs = %v", refs(c.Defs()))
+	}
+	r := Ret()
+	if !eqStrings(refs(r.Uses()), []string{"%i7"}) {
+		t.Errorf("ret uses = %v", refs(r.Uses()))
+	}
+}
+
+func TestDefUseMulY(t *testing.T) {
+	m := RRR(SMUL, O0, O1, O2)
+	if !eqStrings(refs(m.Defs()), []string{"%o2", "%y"}) {
+		t.Errorf("smul defs = %v", refs(m.Defs()))
+	}
+	rd := Inst{Op: RDY, RS1: RegNone, RS2: RegNone, RD: O3, Mem: NoMem}
+	if !eqStrings(refs(rd.Uses()), []string{"%y"}) {
+		t.Errorf("rd %%y uses = %v", refs(rd.Uses()))
+	}
+	if !eqStrings(refs(rd.Defs()), []string{"%o3"}) {
+		t.Errorf("rd %%y defs = %v", refs(rd.Defs()))
+	}
+}
+
+func TestMemExprKeyUniqueness(t *testing.T) {
+	a := MemExpr{Base: FP, Index: RegNone, Offset: -8}
+	b := MemExpr{Base: FP, Index: RegNone, Offset: -12}
+	c := MemExpr{Base: SP, Index: RegNone, Offset: -8}
+	d := MemExpr{Base: FP, Index: RegNone, Offset: -8, Sym: "_x"}
+	keys := map[string]bool{a.Key(): true, b.Key(): true, c.Key(): true, d.Key(): true}
+	if len(keys) != 4 {
+		t.Errorf("expected 4 distinct keys, got %d", len(keys))
+	}
+	a2 := MemExpr{Base: FP, Index: RegNone, Offset: -8}
+	if a.Key() != a2.Key() {
+		t.Error("identical expressions must share a key")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{RRR(ADD, G1, G2, G3), "add %g1, %g2, %g3"},
+		{RIR(SUB, O0, 1, O0), "sub %o0, 1, %o0"},
+		{Load(LD, FP, -4, L0), "ld [%fp-4], %l0"},
+		{LoadSym(LD, "_x", G0, 0, L1), "ld [_x], %l1"},
+		{Store(STDF, F(4), SP, 96), "stdf %f4, [%sp+96]"},
+		{Branch(BNE, "L7"), "bne L7"},
+		{BranchA(BE, "L8"), "be,a L8"},
+		{Call("_foo"), "call _foo"},
+		{Fp3(FDIVD, F(0), F(2), F(4)), "fdivd %f0, %f2, %f4"},
+		{Fcmp(FCMPS, F(1), F(2)), "fcmps %f1, %f2"},
+		{Nop(), "nop"},
+		{Sethi(1024, G1), "sethi %hi(1024), %g1"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLoadSymStringHasSym(t *testing.T) {
+	in := LoadSym(LD, "_errno", G0, 0, O0)
+	// %g0 base is suppressed as a resource but printed storage must
+	// still identify the symbol.
+	if got := in.Mem.String(); got != "[_errno]" {
+		t.Errorf("Mem.String() = %q", got)
+	}
+	if len(in.Uses()) != 1 || in.Uses()[0].Kind != RMem {
+		t.Errorf("symbol load uses = %v", refs(in.Uses()))
+	}
+}
+
+func TestConstructorHelpers(t *testing.T) {
+	if in := MovI(5, O0); in.Op != MOV || in.Imm != 5 || in.RD != O0 || !in.HasImm {
+		t.Errorf("MovI: %+v", in)
+	}
+	if in := MovR(G2, O0); in.RS2 != G2 || in.HasImm {
+		t.Errorf("MovR: %+v", in)
+	}
+	if in := StoreSym(ST, O0, "_x", G0, 4); in.Mem.Sym != "_x" || in.Mem.Offset != 4 {
+		t.Errorf("StoreSym: %+v", in)
+	}
+	if in := Fp2(FMOVS, F(1), F(2)); in.RS2 != F(1) || in.RD != F(2) {
+		t.Errorf("Fp2: %+v", in)
+	}
+	if in := CmpI(O0, 9); in.Op != CMP || in.Imm != 9 || in.RD != G0 {
+		t.Errorf("CmpI: %+v", in)
+	}
+	if in := SaveI(-96); in.Op != SAVE || in.Imm != -96 || in.RS1 != SP {
+		t.Errorf("SaveI: %+v", in)
+	}
+	if in := Restore(); in.Op != RESTORE {
+		t.Errorf("Restore: %+v", in)
+	}
+	mi := MovI(1, O0)
+	if mi.Class() != ClassIU {
+		t.Error("Inst.Class wrong")
+	}
+}
+
+func TestMemExprHelpers(t *testing.T) {
+	m := MemExpr{Base: FP, Index: RegNone, Offset: -8}
+	if m.HasIndex() {
+		t.Error("HasIndex on no-index expr")
+	}
+	m.Index = O1
+	if !m.HasIndex() {
+		t.Error("HasIndex missed index")
+	}
+	w := MemExpr{Base: SP, Index: RegNone, Offset: 64}.wordAfter()
+	if w.Offset != 68 || w.Base != SP {
+		t.Errorf("wordAfter: %+v", w)
+	}
+}
+
+func TestClassStringAll(t *testing.T) {
+	for c := 0; c < NumClasses; c++ {
+		if s := Class(c).String(); s == "" || strings.HasPrefix(s, "class?") {
+			t.Errorf("class %d renders %q", c, s)
+		}
+	}
+	if Class(200).String() == "" {
+		t.Error("out-of-range class should still render")
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("F(32)", func() { F(32) })
+	mustPanic("F(-1)", func() { F(-1) })
+	mustPanic("R(32)", func() { R(32) })
+	mustPanic("FPNum on int reg", func() { G1.FPNum() })
+}
+
+func TestRegNoneString(t *testing.T) {
+	if RegNone.String() != "%none" {
+		t.Errorf("RegNone renders %q", RegNone.String())
+	}
+	if Reg(200).String() == "" {
+		t.Error("garbage register should still render")
+	}
+	if Opcode(250).String() == "" {
+		t.Error("garbage opcode should still render")
+	}
+}
+
+func TestPairPredicate(t *testing.T) {
+	if !LDD.Pair() || !FADDD.Pair() || ADD.Pair() || LDF.Pair() {
+		t.Error("Pair() table wrong")
+	}
+	// PairSecondDef on non-register defs is false.
+	st := Store(STDF, F(4), SP, 64)
+	for _, d := range st.Defs() {
+		if st.PairSecondDef(d) {
+			t.Error("memory def misidentified as pair half")
+		}
+	}
+}
+
+func TestUsesNoAllocReuse(t *testing.T) {
+	in := RRR(ADD, G1, G2, G3)
+	buf := make([]ResRef, 0, 8)
+	out := in.AppendUses(buf)
+	if len(out) != 2 || cap(out) != 8 {
+		t.Errorf("AppendUses should reuse the provided buffer")
+	}
+}

@@ -1,0 +1,233 @@
+// Package machine defines target machine models for instruction
+// scheduling: operation latencies, per-dependence-kind arc delays, and
+// function-unit structure.
+//
+// Arc delays implement every latency subtlety Section 2 of the paper
+// calls out:
+//
+//   - WAR delays are short (typically 1 cycle) "because the parent
+//     instruction reads (uses) the resource in an early pipe stage";
+//   - from the same parent, different RAW delays occur to different
+//     children: the odd half of a double-word load's destination pair is
+//     available one cycle later (PairSkew);
+//   - with asymmetric bypass/forwarding paths (the paper's IBM RS/6000
+//     example) the RAW delay depends on which source-operand slot of the
+//     child consumes the value (AsymBypass);
+//   - an RAW delay to an arithmetic child "may be longer than an RAW
+//     delay to a store operation" when store data is forwarded late
+//     (StoreForward).
+//
+// Function units model the paper's structural hazards: non-pipelined FP
+// units stay busy for an operation's full latency ("busy times for
+// floating point function units" heuristic).
+package machine
+
+import "daginsched/internal/isa"
+
+// Model describes one target machine.
+type Model struct {
+	// Name identifies the model in tables and CLI flags.
+	Name string
+	// IssueWidth is the number of instructions issued per cycle.
+	IssueWidth int
+	// WARDelay is the anti-dependence delay in cycles (usually 1). A
+	// machine that must keep source registers readable for exception
+	// repair (Section 2's caveat) sets a larger value.
+	WARDelay int
+	// PairSkew is the extra RAW delay, in cycles, to the odd register of
+	// a double-word destination pair.
+	PairSkew int
+	// AsymBypass adds one cycle of RAW delay when the child consumes the
+	// value in its second or later source-operand slot (RS/6000-like).
+	AsymBypass bool
+	// StoreForward shaves one cycle off the RAW delay when the child is
+	// a store consuming the value as its data operand.
+	StoreForward bool
+	// NonPipelined marks classes whose function unit stays busy for the
+	// operation's full latency.
+	NonPipelined [isa.NumClasses]bool
+	// Units is the number of function units per class; 0 means
+	// unlimited (no structural hazard for that class).
+	Units [isa.NumClasses]int
+
+	lat [isa.NumOpcodes]int
+}
+
+// Latency returns the operation latency (execution time) of op — the
+// paper's "execution time" heuristic.
+func (m *Model) Latency(op isa.Opcode) int { return m.lat[op] }
+
+// SetLatency overrides the latency of a single opcode. It returns m for
+// chaining, so tests and examples can build variant machines tersely.
+func (m *Model) SetLatency(op isa.Opcode, cycles int) *Model {
+	m.lat[op] = cycles
+	return m
+}
+
+// RAWDelay returns the true-dependence delay on an arc from parent
+// (which defines def) to child (which consumes the value in operand
+// slot useSlot). pairSecond indicates def is the odd half of a
+// destination pair.
+func (m *Model) RAWDelay(parent *isa.Inst, pairSecond bool, child *isa.Inst, useSlot uint8) int {
+	d := m.lat[parent.Op]
+	if pairSecond {
+		d += m.PairSkew
+	}
+	if m.AsymBypass && useSlot > 0 {
+		d++
+	}
+	if m.StoreForward && child.Op.IsStore() && useSlot == 0 {
+		d-- // slot 0 of a store is its data operand
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// WARDelayFor returns the anti-dependence delay for an arc from a
+// reader to a writer of the same resource.
+func (m *Model) WARDelayFor(parent, child *isa.Inst) int {
+	if m.WARDelay < 1 {
+		return 1
+	}
+	return m.WARDelay
+}
+
+// WAWDelay returns the output-dependence delay: the child's write must
+// land after the parent's, so the delay tracks the parent's latency.
+func (m *Model) WAWDelay(parent, child *isa.Inst) int {
+	d := m.lat[parent.Op] - m.lat[child.Op] + 1
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// UnitBusy returns how long an instruction of class c occupies its
+// function unit: full latency when the unit is not pipelined, one cycle
+// otherwise.
+func (m *Model) UnitBusy(op isa.Opcode) int {
+	c := op.Class()
+	if m.NonPipelined[c] {
+		return m.lat[op]
+	}
+	return 1
+}
+
+// IssueGroup buckets classes into superscalar issue slots: 0 for the
+// integer/memory/branch side, 1 for the floating-point side. A width-2
+// machine can issue one instruction from each group per cycle (the
+// "alternate type" heuristic tries to pair them up).
+func IssueGroup(c isa.Class) int {
+	if c.IsFP() {
+		return 1
+	}
+	return 0
+}
+
+// baseLatencies is the default latency table shared by the presets. The
+// FP numbers are chosen to match Figure 1 of the paper (DIVF = 20
+// cycles, ADDF = 4 cycles) and loads have a one-cycle delay slot
+// (latency 2), the paper's "interlock with child" example.
+func baseLatencies() (l [isa.NumOpcodes]int) {
+	for op := 0; op < isa.NumOpcodes; op++ {
+		l[op] = 1
+	}
+	set := func(cycles int, ops ...isa.Opcode) {
+		for _, op := range ops {
+			l[op] = cycles
+		}
+	}
+	set(2, isa.LD, isa.LDUB, isa.LDSB, isa.LDUH, isa.LDSH, isa.LDF)
+	set(2, isa.LDD, isa.LDDF)
+	set(5, isa.SMUL, isa.UMUL)
+	set(18, isa.SDIV, isa.UDIV)
+	set(4, isa.FADDS, isa.FADDD, isa.FSUBS, isa.FSUBD)
+	set(3, isa.FMOVS, isa.FNEGS, isa.FABSS)
+	set(4, isa.FITOS, isa.FITOD, isa.FSTOI, isa.FDTOI, isa.FSTOD, isa.FDTOS)
+	set(6, isa.FMULS, isa.FMULD)
+	set(20, isa.FDIVS, isa.FDIVD)
+	set(22, isa.FSQRTS, isa.FSQRTD)
+	set(2, isa.FCMPS, isa.FCMPD)
+	return l
+}
+
+// Pipe1 is a simple single-issue pipelined RISC: every unit pipelined,
+// WAR delay 1, pair skew 1. This is the default model for the paper's
+// Tables 4 and 5 experiments.
+func Pipe1() *Model {
+	return &Model{
+		Name:       "pipe1",
+		IssueWidth: 1,
+		WARDelay:   1,
+		PairSkew:   1,
+		lat:        baseLatencies(),
+	}
+}
+
+// FPU is Pipe1 with non-pipelined floating-point units (one adder, one
+// multiplier, one divider), the configuration that makes the "busy
+// times for floating point function units" heuristic matter.
+func FPU() *Model {
+	m := Pipe1()
+	m.Name = "fpu"
+	m.NonPipelined[isa.ClassFPA] = true
+	m.NonPipelined[isa.ClassFPM] = true
+	m.NonPipelined[isa.ClassFPD] = true
+	m.Units[isa.ClassFPA] = 1
+	m.Units[isa.ClassFPM] = 1
+	m.Units[isa.ClassFPD] = 1
+	return m
+}
+
+// Asym is Pipe1 with RS/6000-like asymmetric bypass paths and late
+// store-data forwarding, so RAW delays differ per child operand slot.
+func Asym() *Model {
+	m := Pipe1()
+	m.Name = "asym"
+	m.AsymBypass = true
+	m.StoreForward = true
+	return m
+}
+
+// Super2 is a two-issue superscalar: one integer-side and one FP-side
+// instruction per cycle, the configuration that motivates the
+// "alternate type" heuristic.
+func Super2() *Model {
+	m := Pipe1()
+	m.Name = "super2"
+	m.IssueWidth = 2
+	return m
+}
+
+// Deep is Pipe1 with a deeper memory pipeline: loads take four cycles
+// (three delay slots). The configuration where scheduling quality —
+// and the paper's uncovering heuristics — matter most.
+func Deep() *Model {
+	m := Pipe1()
+	m.Name = "deep"
+	for _, op := range []isa.Opcode{
+		isa.LD, isa.LDUB, isa.LDSB, isa.LDUH, isa.LDSH, isa.LDF, isa.LDD, isa.LDDF,
+	} {
+		m.SetLatency(op, 4)
+	}
+	return m
+}
+
+// ByName returns a preset model by name, for CLI flags.
+func ByName(name string) (*Model, bool) {
+	switch name {
+	case "pipe1":
+		return Pipe1(), true
+	case "fpu":
+		return FPU(), true
+	case "asym":
+		return Asym(), true
+	case "super2":
+		return Super2(), true
+	case "deep":
+		return Deep(), true
+	}
+	return nil, false
+}

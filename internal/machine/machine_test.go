@@ -1,0 +1,187 @@
+package machine
+
+import (
+	"testing"
+
+	"daginsched/internal/isa"
+)
+
+func TestFigure1Latencies(t *testing.T) {
+	m := Pipe1()
+	if m.Latency(isa.FDIVS) != 20 {
+		t.Errorf("FDIVS latency = %d, want 20 (Figure 1's DIVF)", m.Latency(isa.FDIVS))
+	}
+	if m.Latency(isa.FADDS) != 4 {
+		t.Errorf("FADDS latency = %d, want 4 (Figure 1's ADDF)", m.Latency(isa.FADDS))
+	}
+	if m.Latency(isa.ADD) != 1 {
+		t.Errorf("ADD latency = %d, want 1", m.Latency(isa.ADD))
+	}
+	if m.Latency(isa.LD) != 2 {
+		t.Errorf("LD latency = %d, want 2 (one delay slot)", m.Latency(isa.LD))
+	}
+}
+
+func TestWARDelayIsShort(t *testing.T) {
+	m := Pipe1()
+	div := isa.Fp3(isa.FDIVS, isa.F(1), isa.F(2), isa.F(3))
+	add := isa.Fp3(isa.FADDS, isa.F(4), isa.F(5), isa.F(1))
+	if got := m.WARDelayFor(&div, &add); got != 1 {
+		t.Errorf("WAR delay = %d, want 1", got)
+	}
+}
+
+func TestRAWDelayBasic(t *testing.T) {
+	m := Pipe1()
+	div := isa.Fp3(isa.FDIVS, isa.F(1), isa.F(2), isa.F(3))
+	add := isa.Fp3(isa.FADDS, isa.F(3), isa.F(5), isa.F(6))
+	if got := m.RAWDelay(&div, false, &add, 0); got != 20 {
+		t.Errorf("RAW delay = %d, want 20", got)
+	}
+}
+
+func TestRAWDelayPairSkew(t *testing.T) {
+	m := Pipe1()
+	ldd := isa.Load(isa.LDDF, isa.FP, -16, isa.F(2))
+	use := isa.Fp3(isa.FADDS, isa.F(3), isa.F(4), isa.F(5))
+	even := m.RAWDelay(&ldd, false, &use, 0)
+	odd := m.RAWDelay(&ldd, true, &use, 0)
+	if odd != even+1 {
+		t.Errorf("pair skew: even %d, odd %d; want odd = even+1", even, odd)
+	}
+}
+
+func TestRAWDelayAsymBypass(t *testing.T) {
+	m := Asym()
+	ld := isa.Load(isa.LDF, isa.FP, -4, isa.F(1))
+	use := isa.Fp3(isa.FADDS, isa.F(1), isa.F(2), isa.F(3))
+	slot0 := m.RAWDelay(&ld, false, &use, 0)
+	slot1 := m.RAWDelay(&ld, false, &use, 1)
+	if slot1 != slot0+1 {
+		t.Errorf("asym bypass: slot0 %d, slot1 %d; want slot1 = slot0+1", slot0, slot1)
+	}
+	// Pipe1 has symmetric bypass.
+	p := Pipe1()
+	if p.RAWDelay(&ld, false, &use, 0) != p.RAWDelay(&ld, false, &use, 1) {
+		t.Error("pipe1 should have symmetric RAW delays")
+	}
+}
+
+func TestRAWDelayStoreForward(t *testing.T) {
+	m := Asym()
+	ld := isa.Load(isa.LD, isa.FP, -4, isa.O0)
+	st := isa.Store(isa.ST, isa.O0, isa.FP, -8)
+	add := isa.RRR(isa.ADD, isa.O0, isa.O1, isa.O2)
+	toStore := m.RAWDelay(&ld, false, &st, 0)
+	toALU := m.RAWDelay(&ld, false, &add, 0)
+	if toStore >= toALU {
+		t.Errorf("RAW to store (%d) should be shorter than to ALU (%d)", toStore, toALU)
+	}
+}
+
+func TestRAWDelayNeverBelowOne(t *testing.T) {
+	m := Asym()
+	mov := isa.MovI(1, isa.O0)
+	st := isa.Store(isa.ST, isa.O0, isa.FP, -8)
+	if got := m.RAWDelay(&mov, false, &st, 0); got != 1 {
+		t.Errorf("RAW delay clamped to %d, want 1", got)
+	}
+}
+
+func TestWAWDelay(t *testing.T) {
+	m := Pipe1()
+	div := isa.Fp3(isa.FDIVS, isa.F(1), isa.F(2), isa.F(3))
+	mov := isa.Fp2(isa.FMOVS, isa.F(4), isa.F(3))
+	// mov (3 cycles) after div (20 cycles): must wait 20-3+1 = 18.
+	if got := m.WAWDelay(&div, &mov); got != 18 {
+		t.Errorf("WAW delay = %d, want 18", got)
+	}
+	// Reverse order: short op then long op never needs extra delay.
+	if got := m.WAWDelay(&mov, &div); got != 1 {
+		t.Errorf("WAW delay = %d, want 1", got)
+	}
+}
+
+func TestUnitBusy(t *testing.T) {
+	p, f := Pipe1(), FPU()
+	div := isa.FDIVD
+	if p.UnitBusy(div) != 1 {
+		t.Errorf("pipelined unit busy = %d, want 1", p.UnitBusy(div))
+	}
+	if f.UnitBusy(div) != f.Latency(div) {
+		t.Errorf("non-pipelined unit busy = %d, want %d", f.UnitBusy(div), f.Latency(div))
+	}
+	if f.UnitBusy(isa.ADD) != 1 {
+		t.Error("integer unit should stay pipelined on fpu model")
+	}
+}
+
+func TestIssueGroups(t *testing.T) {
+	if IssueGroup(isa.ClassIU) != 0 || IssueGroup(isa.ClassLoad) != 0 ||
+		IssueGroup(isa.ClassBranch) != 0 {
+		t.Error("integer-side classes should be group 0")
+	}
+	if IssueGroup(isa.ClassFPA) != 1 || IssueGroup(isa.ClassFPD) != 1 {
+		t.Error("FP classes should be group 1")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"pipe1", "fpu", "asym", "super2"} {
+		m, ok := ByName(name)
+		if !ok || m.Name != name {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("cray1"); ok {
+		t.Error("unknown model resolved")
+	}
+}
+
+func TestSetLatencyChains(t *testing.T) {
+	m := Pipe1().SetLatency(isa.ADD, 3)
+	if m.Latency(isa.ADD) != 3 {
+		t.Error("SetLatency did not stick")
+	}
+}
+
+func TestSuper2Width(t *testing.T) {
+	if Super2().IssueWidth != 2 || Pipe1().IssueWidth != 1 {
+		t.Error("issue widths wrong")
+	}
+}
+
+func TestEveryOpcodeHasSaneLatency(t *testing.T) {
+	for _, m := range []*Model{Pipe1(), FPU(), Asym(), Super2()} {
+		for op := 0; op < isa.NumOpcodes; op++ {
+			if l := m.Latency(isa.Opcode(op)); l < 1 || l > 64 {
+				t.Errorf("%s: %v latency %d out of range", m.Name, isa.Opcode(op), l)
+			}
+			if b := m.UnitBusy(isa.Opcode(op)); b < 1 {
+				t.Errorf("%s: %v unit busy %d", m.Name, isa.Opcode(op), b)
+			}
+		}
+	}
+}
+
+func TestEveryOpcodeHasAPattern(t *testing.T) {
+	m := FPU()
+	for op := 0; op < isa.NumOpcodes; op++ {
+		p := m.Pattern(isa.Opcode(op))
+		if len(p) == 0 {
+			t.Fatalf("%v has no reservation pattern", isa.Opcode(op))
+		}
+		for _, st := range p {
+			if st.Len < 1 || st.Start < 0 {
+				t.Errorf("%v stage %+v malformed", isa.Opcode(op), st)
+			}
+			if m.ResvUnits(st.Unit) < 1 {
+				t.Errorf("%v uses unit class %v with no units", isa.Opcode(op), st.Unit)
+			}
+		}
+	}
+	// Memory operations hold an extra integer (address-generation) slot.
+	if len(m.Pattern(isa.LD)) != 2 || len(m.Pattern(isa.ADD)) != 1 {
+		t.Error("load/ALU pattern shapes wrong")
+	}
+}

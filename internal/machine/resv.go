@@ -1,0 +1,41 @@
+package machine
+
+import "daginsched/internal/isa"
+
+// StageUse is one row-segment of an instruction's reservation pattern:
+// the instruction occupies one unit of class Unit from cycle Start
+// (relative to issue) for Len cycles. The paper's Section 1 describes
+// this style of scheduling: "an instruction is an aggregate structure
+// represented by blocks of busy cycles for one or more function units,
+// and scheduling involves pattern matching these blocks into a
+// partially-filled reservation table".
+type StageUse struct {
+	Unit  isa.Class
+	Start int
+	Len   int
+}
+
+// Pattern returns op's reservation pattern under model m. The default
+// pattern is derived from the model: one unit of the instruction's
+// class, busy for UnitBusy cycles. Memory operations additionally hold
+// an address-generation slot on the integer side for their first cycle,
+// giving the "multiple resource usage" shape reservation tables exist
+// for.
+func (m *Model) Pattern(op isa.Opcode) []StageUse {
+	c := op.Class()
+	p := []StageUse{{Unit: c, Start: 0, Len: m.UnitBusy(op)}}
+	if c == isa.ClassLoad || c == isa.ClassStore {
+		p = append(p, StageUse{Unit: isa.ClassIU, Start: 0, Len: 1})
+	}
+	return p
+}
+
+// ResvUnits returns the number of units of class c available to the
+// reservation table: the model's configured count, or 1 for classes
+// with no explicit limit (a reservation table must bound every row).
+func (m *Model) ResvUnits(c isa.Class) int {
+	if n := m.Units[c]; n > 0 {
+		return n
+	}
+	return 1
+}

@@ -1,0 +1,156 @@
+package pipe
+
+import (
+	"testing"
+
+	"daginsched/internal/block"
+	"daginsched/internal/dag"
+	"daginsched/internal/isa"
+	"daginsched/internal/machine"
+	"daginsched/internal/resource"
+	"daginsched/internal/sched"
+	"daginsched/internal/testgen"
+)
+
+func table(insts []isa.Inst) *resource.Table {
+	rt := resource.NewTable(resource.MemExprModel)
+	rt.PrepareBlock(insts)
+	return rt
+}
+
+func TestLoadUseStall(t *testing.T) {
+	insts := []isa.Inst{
+		isa.Load(isa.LD, isa.FP, -4, isa.O0),
+		isa.RIR(isa.ADD, isa.O0, 1, isa.O1),
+	}
+	r := Simulate(insts, nil, machine.Pipe1(), table(insts))
+	if r.Issue[0] != 0 || r.Issue[1] != 2 {
+		t.Errorf("issue = %v, want [0 2] (one delay slot)", r.Issue)
+	}
+}
+
+func TestWARAllowsQuickReuse(t *testing.T) {
+	insts := []isa.Inst{
+		isa.Fp3(isa.FDIVS, isa.F(1), isa.F(2), isa.F(3)), // reads f1 at 0
+		isa.Fp3(isa.FADDS, isa.F(4), isa.F(5), isa.F(1)), // WAR: may issue at 1
+	}
+	r := Simulate(insts, nil, machine.Pipe1(), table(insts))
+	if r.Issue[1] != 1 {
+		t.Errorf("WAR delay: issue = %v, want second at 1", r.Issue)
+	}
+}
+
+func TestWAWOrdering(t *testing.T) {
+	insts := []isa.Inst{
+		isa.Fp3(isa.FDIVS, isa.F(1), isa.F(2), isa.F(4)), // 20 cycles into f4
+		isa.Fp2(isa.FMOVS, isa.F(6), isa.F(4)),           // 3-cycle write to f4
+	}
+	r := Simulate(insts, nil, machine.Pipe1(), table(insts))
+	// WAW delay 20-3+1 = 18: the short op may not complete first.
+	if r.Issue[1] != 18 {
+		t.Errorf("WAW: issue = %v, want [0 18]", r.Issue)
+	}
+}
+
+func TestFPUnitSerializes(t *testing.T) {
+	insts := []isa.Inst{
+		isa.Fp3(isa.FDIVS, isa.F(1), isa.F(2), isa.F(3)),
+		isa.Fp3(isa.FDIVS, isa.F(4), isa.F(5), isa.F(6)),
+	}
+	r := Simulate(insts, nil, machine.FPU(), table(insts))
+	if r.Issue[1] != 20 {
+		t.Errorf("non-pipelined divider: issue = %v", r.Issue)
+	}
+}
+
+func TestProgramOrderDefault(t *testing.T) {
+	insts := []isa.Inst{isa.MovI(1, isa.O0), isa.MovI(2, isa.O1)}
+	a := Simulate(insts, nil, machine.Pipe1(), table(insts))
+	b := Simulate(insts, []int32{0, 1}, machine.Pipe1(), table(insts))
+	if a.Cycles != b.Cycles || a.Issue[0] != b.Issue[0] {
+		t.Error("nil order should equal explicit program order")
+	}
+}
+
+// TestAgreesWithDAGTiming is the cross-check this package exists for:
+// on table-built DAGs, the arc-based clock (sched.Timed) and the
+// scoreboard-based clock must agree exactly, for every machine model,
+// on both program order and algorithm-produced permutations.
+func TestAgreesWithDAGTiming(t *testing.T) {
+	models := []*machine.Model{machine.Pipe1(), machine.FPU(), machine.Asym(), machine.Super2()}
+	for seed := int64(0); seed < 25; seed++ {
+		insts := testgen.Block(seed, 30)
+		for _, m := range models {
+			b := &block.Block{Name: "t", Insts: insts}
+			rt := resource.NewTable(resource.MemExprModel)
+			rt.PrepareBlock(b.Insts)
+			d := dag.TableForward{}.Build(b, m, rt)
+
+			orders := [][]int32{nil}
+			for _, al := range []*sched.Algorithm{sched.Krishnamurthy(), sched.Warren(), sched.Tiemann()} {
+				orders = append(orders, al.Run(d, m).Order)
+			}
+			for oi, order := range orders {
+				ps := Simulate(insts, order, m, rt)
+				var ds *sched.Result
+				if order == nil {
+					ds = sched.InOrder(d, m)
+				} else {
+					ds = sched.Timed(d, m, order)
+				}
+				if ps.Cycles != ds.Cycles {
+					t.Fatalf("seed %d model %s order#%d: pipe %d cycles, dag %d",
+						seed, m.Name, oi, ps.Cycles, ds.Cycles)
+				}
+				for p, node := range orderOrProgram(order, len(insts)) {
+					if ps.Issue[p] != ds.Issue[node] {
+						t.Fatalf("seed %d model %s order#%d pos %d: pipe issue %d, dag %d",
+							seed, m.Name, oi, p, ps.Issue[p], ds.Issue[node])
+					}
+				}
+			}
+		}
+	}
+}
+
+func orderOrProgram(order []int32, n int) []int32 {
+	if order != nil {
+		return order
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+func TestSuperscalarGrouping(t *testing.T) {
+	insts := []isa.Inst{
+		isa.MovI(1, isa.O0),
+		isa.Fp3(isa.FADDS, isa.F(1), isa.F(2), isa.F(3)),
+		isa.MovI(2, isa.O1),
+	}
+	r := Simulate(insts, nil, machine.Super2(), table(insts))
+	if r.Issue[0] != 0 || r.Issue[1] != 0 || r.Issue[2] != 1 {
+		t.Errorf("dual issue = %v, want [0 0 1]", r.Issue)
+	}
+}
+
+func TestPairSkewVisible(t *testing.T) {
+	insts := []isa.Inst{
+		isa.Load(isa.LDDF, isa.SP, 64, isa.F(2)),
+		isa.Fp2(isa.FMOVS, isa.F(3), isa.F(8)), // odd half: +1 cycle
+	}
+	r := Simulate(insts, nil, machine.Pipe1(), table(insts))
+	if r.Issue[1] != 3 {
+		t.Errorf("odd-half consumer issue = %d, want 3", r.Issue[1])
+	}
+	even := []isa.Inst{
+		isa.Load(isa.LDDF, isa.SP, 64, isa.F(2)),
+		isa.Fp2(isa.FMOVS, isa.F(2), isa.F(8)),
+	}
+	re := Simulate(even, nil, machine.Pipe1(), table(even))
+	if re.Issue[1] != 2 {
+		t.Errorf("even-half consumer issue = %d, want 2", re.Issue[1])
+	}
+}

@@ -1,0 +1,271 @@
+// Package rename implements within-block register renaming, the
+// transformation that removes the "false" dependences of Section 1:
+// WAR (anti) and WAW (output) arcs exist only because a register name
+// is reused, so redirecting a definition to an otherwise-unused
+// register — and rewriting its uses — deletes those arcs and exposes
+// instruction-level parallelism the scheduler can spend.
+//
+// The pass is conservative and purely local:
+//
+//   - only definitions whose live range is contained in the block are
+//     renamed (the value must die before the block ends: a later
+//     in-block definition of the same register exists, and no CTI or
+//     block boundary consumes it afterwards);
+//   - only registers free throughout the block (never read or written,
+//     and not a reserved register) are used as new names;
+//   - pair operations rename both halves together, to an even register.
+//
+// Renaming preserves architectural state at block exit for every
+// register except the scratch names it consumed; the property tests
+// verify this with the interpreter.
+package rename
+
+import (
+	"daginsched/internal/isa"
+)
+
+// Result reports what the pass did to one block.
+type Result struct {
+	// Insts is the rewritten block.
+	Insts []isa.Inst
+	// Renamed counts definitions redirected to fresh registers.
+	Renamed int
+}
+
+// reserved registers are never touched or allocated: the zero register,
+// stack/frame pointers, and the call linkage registers.
+func reserved(r isa.Reg) bool {
+	switch r {
+	case isa.G0, isa.SP, isa.FP, isa.O7, isa.I7:
+		return true
+	}
+	return false
+}
+
+// Block renames the killed definitions of a straight-line block.
+func Block(insts []isa.Inst) *Result {
+	out := append([]isa.Inst(nil), insts...)
+	res := &Result{Insts: out}
+
+	// Which registers are completely untouched (candidate scratch)?
+	var touched [isa.NumIntRegs + isa.NumFPRegs]bool
+	var refs []isa.ResRef
+	note := func(rs []isa.ResRef) {
+		for _, r := range rs {
+			if r.Kind == isa.RReg || r.Kind == isa.RFReg {
+				touched[r.Reg] = true
+			}
+		}
+	}
+	for i := range out {
+		note(out[i].AppendUses(refs[:0]))
+		note(out[i].AppendDefs(refs[:0]))
+	}
+	freeInt := freeList(touched[:isa.NumIntRegs], 0)
+	freeFP := freePairList(touched[isa.NumIntRegs:])
+
+	// Walk forward; for each definition D of register R at position i,
+	// find the next redefinition of R. If one exists before the block
+	// ends (so the value dies in-block) and no CTI reads R in between,
+	// rename D and the uses of its value to a fresh register.
+	for i := 0; i < len(out); i++ {
+		in := &out[i]
+		if in.Op.IsCTI() || in.Op.EndsBlock() {
+			continue
+		}
+		r := in.RD
+		if r == isa.RegNone || reserved(r) {
+			continue
+		}
+		pair := in.Op.Pair()
+		if !definesReg(in) {
+			continue
+		}
+		end := nextRedef(out, i+1, r, pair)
+		if end < 0 {
+			continue // value may live out of the block
+		}
+		if pairReadTears(out, i+1, end, r, pair) {
+			// A double-word operand in the window overlaps the renamed
+			// register(s) without coinciding exactly; redirecting part
+			// of such a read would tear the pair.
+			continue
+		}
+		var fresh isa.Reg
+		if r.IsFP() {
+			fresh = take(&freeFP)
+		} else if r.IsInt() {
+			fresh = take(&freeInt)
+		} else {
+			continue
+		}
+		if fresh == isa.RegNone {
+			continue // no scratch register available
+		}
+		// Rewrite the definition and every use of the value up to and
+		// including the redefining instruction (whose source operands
+		// may still read our value: "add %r1, 1, %r1").
+		in.RD = fresh
+		for j := i + 1; j <= end; j++ {
+			rewriteUses(&out[j], r, fresh, pair)
+		}
+		res.Renamed++
+	}
+	for i := range out {
+		out[i].Index = i
+	}
+	return res
+}
+
+// definesReg reports whether the instruction's RD field is a register
+// definition (stores use RD as a source).
+func definesReg(in *isa.Inst) bool {
+	switch in.Op.Format() {
+	case isa.Fmt3, isa.FmtLoad, isa.FmtSethi, isa.FmtFp2, isa.FmtFp3, isa.FmtRdY:
+		return in.RD != isa.G0
+	}
+	return false
+}
+
+// nextRedef returns the index of the next instruction that fully
+// redefines r (and its pair half when pair is set), or -1. A use of r
+// at or after a partial redefinition keeps the rename illegal, so any
+// overlapping read after the scan window also returns -1 implicitly by
+// requiring the redefinition to come first.
+func nextRedef(insts []isa.Inst, from int, r isa.Reg, pair bool) int {
+	var refs []isa.ResRef
+	for j := from; j < len(insts); j++ {
+		in := &insts[j]
+		if in.Op.IsCTI() || in.Op.EndsBlock() {
+			return -1 // the value may be read beyond the block
+		}
+		refs = in.AppendDefs(refs[:0])
+		def, defPartner := false, !pair
+		for _, d := range refs {
+			if d.Kind != isa.RReg && d.Kind != isa.RFReg {
+				continue
+			}
+			if d.Reg == r {
+				def = true
+			}
+			if pair && d.Reg == r+1 {
+				defPartner = true
+			}
+		}
+		if def && defPartner {
+			return j
+		}
+		if def != defPartner && pair {
+			return -1 // half-redefined pairs are too subtle to rename
+		}
+		// A use of r after this point still belongs to our value: keep
+		// scanning. (Uses are rewritten by the caller.)
+	}
+	return -1
+}
+
+// pairReadTears reports whether any double-word (pair) read in
+// positions [from, to] overlaps the renamed register set — {r} for a
+// single definition, {r, r+1} for a pair — without coinciding with it
+// exactly. Such a read would be redirected on one half only.
+func pairReadTears(insts []isa.Inst, from, to int, r isa.Reg, pair bool) bool {
+	tears := func(base isa.Reg) bool {
+		if base == isa.RegNone {
+			return false
+		}
+		if pair {
+			// Exact match {base, base+1} == {r, r+1} is a clean rewrite.
+			if base == r {
+				return false
+			}
+			return base == r-1 || base == r+1
+		}
+		return r == base || r == base+1
+	}
+	for j := from; j <= to && j < len(insts); j++ {
+		in := &insts[j]
+		if !in.Op.Pair() {
+			continue
+		}
+		switch in.Op.Format() {
+		case isa.FmtFp3, isa.FmtFcmp:
+			if tears(in.RS1) || tears(in.RS2) {
+				return true
+			}
+		case isa.FmtFp2:
+			if tears(in.RS2) {
+				return true
+			}
+		case isa.FmtStore:
+			if tears(in.RD) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rewriteUses redirects reads of old (and its pair half) to fresh in
+// one instruction. Register fields that are definitions are left alone.
+func rewriteUses(in *isa.Inst, old, fresh isa.Reg, pair bool) {
+	swap := func(f *isa.Reg) {
+		if *f == old {
+			*f = fresh
+		} else if pair && *f == old+1 {
+			*f = fresh + 1
+		}
+	}
+	switch in.Op.Format() {
+	case isa.Fmt3:
+		swap(&in.RS1)
+		if !in.HasImm {
+			swap(&in.RS2)
+		}
+	case isa.FmtLoad:
+		swap(&in.Mem.Base)
+		swap(&in.Mem.Index)
+	case isa.FmtStore:
+		swap(&in.RD) // store data is a use
+		swap(&in.Mem.Base)
+		swap(&in.Mem.Index)
+	case isa.FmtFp2:
+		swap(&in.RS2)
+	case isa.FmtFp3, isa.FmtFcmp:
+		swap(&in.RS1)
+		swap(&in.RS2)
+	case isa.FmtJmpl:
+		swap(&in.RS1)
+	}
+}
+
+// freeList collects untouched, unreserved integer registers.
+func freeList(touched []bool, base isa.Reg) []isa.Reg {
+	var out []isa.Reg
+	for i, t := range touched {
+		r := base + isa.Reg(i)
+		if !t && !reserved(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// freePairList collects untouched even/odd FP register pairs.
+func freePairList(touched []bool) []isa.Reg {
+	var out []isa.Reg
+	for i := 0; i+1 < len(touched); i += 2 {
+		if !touched[i] && !touched[i+1] {
+			out = append(out, isa.F0+isa.Reg(i))
+		}
+	}
+	return out
+}
+
+func take(pool *[]isa.Reg) isa.Reg {
+	if len(*pool) == 0 {
+		return isa.RegNone
+	}
+	r := (*pool)[0]
+	*pool = (*pool)[1:]
+	return r
+}

@@ -1,0 +1,287 @@
+package sched
+
+import (
+	"fmt"
+
+	"daginsched/internal/dag"
+	"daginsched/internal/heur"
+	"daginsched/internal/machine"
+)
+
+// CombineKind distinguishes how an algorithm merges its heuristics:
+// "Some algorithms combine the heuristic information into a single
+// priority value per node, while others apply heuristics in a given
+// order in a winnowing-like process" (Section 5).
+type CombineKind uint8
+
+const (
+	// WinnowKind filters candidates heuristic by heuristic.
+	WinnowKind CombineKind = iota
+	// PriorityKind packs ranked heuristics into one priority value.
+	PriorityKind
+)
+
+// String names the combinator as Table 2 does.
+func (c CombineKind) String() string {
+	if c == PriorityKind {
+		return "priority fn"
+	}
+	return "winnow"
+}
+
+// Algorithm is one published scheduling algorithm as characterized by
+// Table 2 of the paper: a DAG-construction choice, a scheduling-pass
+// direction, a ranked heuristic list and a combinator.
+type Algorithm struct {
+	Name string
+	Cite string // reference as the paper cites it
+	// Construction is the published DAG construction method; nil when
+	// the reference does not give one ("n.g."), in which case Run uses
+	// table-building forward.
+	Construction dag.Builder
+	// SchedDir is the scheduling-pass direction.
+	SchedDir dag.Direction
+	// Combine selects winnowing vs. a single priority value.
+	Combine CombineKind
+	// Ranked is the ordered heuristic list (rank 1 first).
+	Ranked []RankedKey
+	// Postpass enables Krishnamurthy's delay-slot fixup after the
+	// heuristic pass.
+	Postpass bool
+	// TimeIndexed places instructions through the reservation table
+	// (earliest empty slots, with backfilling) instead of sequential
+	// forward/backward emission — the placement style VLIW
+	// critical-path methods like Schlansker's assume.
+	TimeIndexed bool
+}
+
+// Selector builds the algorithm's heuristic combinator.
+func (al *Algorithm) Selector() Selector {
+	if al.Combine == PriorityKind {
+		return Priority(al.Ranked)
+	}
+	return Winnow(al.Ranked)
+}
+
+// Builder returns the construction algorithm to use: the published one,
+// or table-building forward when the reference does not name one.
+func (al *Algorithm) Builder() dag.Builder {
+	if al.Construction != nil {
+		return al.Construction
+	}
+	return dag.TableForward{}
+}
+
+// Run schedules an already-built DAG with the algorithm's direction,
+// heuristics and post-pass.
+func (al *Algorithm) Run(d *dag.DAG, m *machine.Model) *Result {
+	a := heur.New(d, m)
+	prepareAnnot(a, al.Ranked)
+	var r *Result
+	switch {
+	case al.TimeIndexed:
+		r = Reservation(d, m, a, al.Selector())
+	case al.SchedDir == dag.Backward:
+		r = Backward(d, m, a, al.Selector())
+	default:
+		r = Forward(d, m, a, al.Selector())
+	}
+	if al.Postpass {
+		r = Fixup(d, m, r)
+	}
+	return r
+}
+
+// prepareAnnot computes exactly the static passes the ranked keys need.
+func prepareAnnot(a *heur.Annot, ranked []RankedKey) {
+	var local, fwd, bwd, crit, desc, regs bool
+	for _, rk := range ranked {
+		switch rk.Key {
+		case heur.InterlockChild, heur.ExecTime, heur.DelaysToChildren,
+			heur.DelaysFromParents:
+			local = true
+		case heur.MaxPathFromRoot, heur.MaxDelayFromRoot, heur.EarliestStart:
+			fwd = true
+		case heur.MaxPathToLeaf, heur.MaxDelayToLeaf:
+			bwd = true
+		case heur.LatestStart, heur.Slack:
+			crit = true
+		case heur.NumDescendants, heur.SumExecDesc:
+			desc = true
+		case heur.RegsBorn, heur.RegsKilled, heur.Liveness:
+			regs = true
+		}
+	}
+	if local {
+		a.ComputeLocal()
+	}
+	if fwd {
+		a.ComputeForward()
+	}
+	if bwd {
+		a.ComputeBackward()
+	}
+	if crit {
+		a.ComputeCritical()
+	}
+	if desc {
+		a.ComputeDescendants()
+	}
+	if regs {
+		a.ComputeRegisterUsage()
+	}
+}
+
+// The six published algorithms of Table 2, configured row by row.
+
+// GibbonsMuchnick is Gibbons & Muchnick [3]: backward n² construction,
+// forward winnowing on (1) no interlock with the previous instruction,
+// (2) interlock with child, (3) #children, (4) max path to a leaf.
+func GibbonsMuchnick() *Algorithm {
+	return &Algorithm{
+		Name:         "gibbons-muchnick",
+		Cite:         "Gibbons & Muchnick [3]",
+		Construction: dag.N2Backward{},
+		SchedDir:     dag.Forward,
+		Combine:      WinnowKind,
+		Ranked: []RankedKey{
+			{Key: heur.InterlockWithPrev, Min: true}, // "no interlock"
+			{Key: heur.InterlockChild},
+			{Key: heur.NumChildren},
+			{Key: heur.MaxPathToLeaf},
+		},
+	}
+}
+
+// Krishnamurthy is Krishnamurthy [8]: forward table building, forward
+// scheduling with a priority function on (1) earliest time, (2) FPU
+// interlocks, (3) max path to leaf, (4) execution time, (5) max delay
+// to leaf, plus a post-pass fixup that fills remaining delay slots.
+func Krishnamurthy() *Algorithm {
+	return &Algorithm{
+		Name:         "krishnamurthy",
+		Cite:         "Krishnamurthy [8]",
+		Construction: dag.TableForward{},
+		SchedDir:     dag.Forward,
+		Combine:      PriorityKind,
+		Ranked: []RankedKey{
+			{Key: heur.EarliestExecTime, Min: true},
+			{Key: heur.FPUBusy, Min: true},
+			{Key: heur.MaxPathToLeaf},
+			{Key: heur.ExecTime},
+			{Key: heur.MaxDelayToLeaf},
+		},
+		Postpass: true,
+	}
+}
+
+// Schlansker is Schlansker [12]: construction not given, backward
+// scheduling with a priority function on (1) slack, (2) latest start
+// time — the critical-path algorithm whose forward+backward heuristic
+// requirement Section 5 calls unavoidable.
+func Schlansker() *Algorithm {
+	return &Algorithm{
+		Name:     "schlansker",
+		Cite:     "Schlansker [12]",
+		SchedDir: dag.Backward,
+		Combine:  PriorityKind,
+		Ranked: []RankedKey{
+			{Key: heur.Slack, Min: true},
+			{Key: heur.LatestStart, Min: false},
+		},
+	}
+}
+
+// SchlanskerVLIW is Schlansker's slack/LST priority driven through the
+// reservation-table placer instead of sequential backward emission —
+// the time-indexed schedule his VLIW tutorial assumes. On a strict
+// in-order scalar pipeline the published backward emission clusters the
+// zero-slack chain back to back (see EXPERIMENTS.md); this pairing
+// recovers the method's intent. Not a Table 2 row.
+func SchlanskerVLIW() *Algorithm {
+	al := Schlansker()
+	al.Name = "schlansker-resv"
+	al.Cite = "Schlansker [12] + reservation table"
+	al.TimeIndexed = true
+	return al
+}
+
+// ShiehPapachristou is Shieh & Papachristou [13]: construction not
+// given, forward winnowing on (1) max delay to leaf, (2) execution
+// time, (3) #children, (4) #parents (inverse), (5) max path from root
+// (inverse — the heuristic Section 5 says "could possibly be omitted or
+// replaced with little effect because it is the last ... applied").
+func ShiehPapachristou() *Algorithm {
+	return &Algorithm{
+		Name:     "shieh-papachristou",
+		Cite:     "Shieh & Papachristou [13]",
+		SchedDir: dag.Forward,
+		Combine:  WinnowKind,
+		Ranked: []RankedKey{
+			{Key: heur.MaxDelayToLeaf},
+			{Key: heur.ExecTime},
+			{Key: heur.NumChildren},
+			{Key: heur.NumParents, Min: true},
+			{Key: heur.MaxPathFromRoot, Min: true},
+		},
+	}
+}
+
+// Tiemann is Tiemann's GNU scheduler [15]: forward table building,
+// backward scheduling with a priority function on (1) max delay from
+// root, (2) the birthing-instruction adjustment, (3) original order.
+func Tiemann() *Algorithm {
+	return &Algorithm{
+		Name:         "tiemann",
+		Cite:         "Tiemann (GCC) [15]",
+		Construction: dag.TableForward{},
+		SchedDir:     dag.Backward,
+		Combine:      PriorityKind,
+		Ranked: []RankedKey{
+			{Key: heur.MaxDelayFromRoot},
+			{Key: heur.Birthing},
+			{Key: heur.OriginalOrder},
+		},
+	}
+}
+
+// Warren is Warren [16]: forward n² construction, forward winnowing on
+// (1) earliest time, (2) alternate type, (3) max delay to leaf,
+// (4) register liveness (inverse: lower pressure first), (5) #uncovered
+// children, (6) original order.
+func Warren() *Algorithm {
+	return &Algorithm{
+		Name:         "warren",
+		Cite:         "Warren [16]",
+		Construction: dag.N2Forward{},
+		SchedDir:     dag.Forward,
+		Combine:      WinnowKind,
+		Ranked: []RankedKey{
+			{Key: heur.EarliestExecTime, Min: true},
+			{Key: heur.AlternateType},
+			{Key: heur.MaxDelayToLeaf},
+			{Key: heur.Liveness, Min: true},
+			{Key: heur.NumUncovered},
+			{Key: heur.OriginalOrder, Min: true},
+		},
+	}
+}
+
+// Table2 returns the six published algorithms in the paper's column
+// order.
+func Table2() []*Algorithm {
+	return []*Algorithm{
+		GibbonsMuchnick(), Krishnamurthy(), Schlansker(),
+		ShiehPapachristou(), Tiemann(), Warren(),
+	}
+}
+
+// AlgorithmByName returns a Table 2 algorithm by name, for CLI flags.
+func AlgorithmByName(name string) (*Algorithm, error) {
+	for _, al := range Table2() {
+		if al.Name == name {
+			return al, nil
+		}
+	}
+	return nil, fmt.Errorf("sched: unknown algorithm %q", name)
+}

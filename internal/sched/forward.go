@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"daginsched/internal/dag"
+	"daginsched/internal/heur"
+	"daginsched/internal/machine"
+)
+
+// Forward runs a forward list-scheduling pass: candidates are nodes
+// whose parents are all scheduled; the selector ranks them; the chosen
+// instruction issues at the earliest cycle its dependences, its
+// function unit and the machine's issue width allow.
+//
+// A block-terminating CTI is pinned last — the effect the paper
+// describes as connecting "all true leaves to the block-ending branch
+// node to ensure that the branch is the last node to be scheduled",
+// implemented here without distorting the DAG's structural statistics.
+// The CTI's delay-slot instruction, if the block retains one, stays
+// glued after it by the same mechanism.
+func Forward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Selector) *Result {
+	s := newState(d, m, a)
+	n := int32(d.Len())
+	forcedLast := pinnedTail(d)
+
+	// The candidate list is maintained incrementally: a node enters when
+	// its last unscheduled parent is placed. Rebuilding it per step
+	// would make the scheduling pass quadratic in block size, which the
+	// fpppp-sized blocks of Section 6 cannot afford.
+	cands := make([]int32, 0, 16)
+	var held []int32 // pinned-tail nodes whose parents are scheduled
+	admit := func(i int32) {
+		if forcedLast[i] {
+			held = append(held, i)
+		} else {
+			cands = append(cands, i)
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		if s.unschedParents[i] == 0 {
+			admit(i)
+		}
+	}
+	for scheduled := int32(0); scheduled < n; scheduled++ {
+		if len(cands) == 0 {
+			// Only pinned-tail nodes remain.
+			cands, held = held, cands
+		}
+		pick := sel.Pick(s, cands)
+		for k, c := range cands {
+			if c == pick {
+				cands[k] = cands[len(cands)-1]
+				cands = cands[:len(cands)-1]
+				break
+			}
+		}
+		s.place(pick)
+		for _, arc := range d.Nodes[pick].Succs {
+			if s.unschedParents[arc.To] == 0 {
+				admit(arc.To)
+			}
+		}
+	}
+	return s.result()
+}
+
+// pinnedTail marks the block-terminating CTI so it schedules last. Any
+// trailing CTI in the block is pinned; everything else floats.
+func pinnedTail(d *dag.DAG) []bool {
+	pinned := make([]bool, d.Len())
+	if n := d.Len(); n > 0 && d.Nodes[n-1].Inst.Op.IsCTI() {
+		pinned[n-1] = true
+	}
+	return pinned
+}
+
+// place issues node pick at the earliest legal cycle and updates every
+// dynamic heuristic input.
+func (s *State) place(pick int32) {
+	in := s.D.Nodes[pick].Inst
+	class := in.Class()
+	at := s.EffectiveEET(pick)
+	if at < s.time {
+		at = s.time
+	}
+	// Issue-width and issue-group constraints within the current cycle.
+	group := machine.IssueGroup(class)
+	for {
+		if at > s.time {
+			// Advancing the clock opens a fresh cycle.
+			s.time, s.usedSlots, s.usedGroups = at, 0, 0
+		}
+		if s.usedSlots < s.M.IssueWidth &&
+			(s.M.IssueWidth == 1 || s.usedGroups&(1<<group) == 0) {
+			break
+		}
+		at = s.time + 1
+	}
+	s.usedSlots++
+	s.usedGroups |= 1 << group
+	s.issue[pick] = at
+	s.scheduled[pick] = true
+	s.order = append(s.order, pick)
+	s.last = pick
+	// Occupy a function unit.
+	if units := s.unitBusy[class]; len(units) > 0 {
+		_, ui := s.unitFree(class)
+		units[ui] = at + int32(s.M.UnitBusy(in.Op))
+	}
+	// Update children: unscheduled-parent counters and earliest
+	// execution times.
+	for _, arc := range s.D.Nodes[pick].Succs {
+		s.unschedParents[arc.To]--
+		if t := at + arc.Delay; t > s.eet[arc.To] {
+			s.eet[arc.To] = t
+		}
+	}
+}
+
+// result finalizes the schedule.
+func (s *State) result() *Result {
+	r := &Result{Order: s.order, Issue: s.issue}
+	for i, in := range s.D.Nodes {
+		if s.issue[i] < 0 {
+			continue
+		}
+		if fin := s.issue[i] + int32(s.M.Latency(in.Inst.Op)); fin > r.Cycles {
+			r.Cycles = fin
+		}
+	}
+	return r
+}
+
+// Backward runs a backward list-scheduling pass (Tiemann, Schlansker):
+// candidates are nodes whose children are all scheduled; the selector
+// ranks them; the resulting reverse order is then timed with one
+// forward placement pass so Result carries real issue cycles.
+func Backward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Selector) *Result {
+	s := newState(d, m, a)
+	n := int32(d.Len())
+	rev := make([]int32, 0, n)
+	picked := make([]bool, n)
+	// Pin the trailing CTI first so it lands last in program order.
+	if n > 0 && d.Nodes[n-1].Inst.Op.IsCTI() {
+		rev = append(rev, n-1)
+		picked[n-1] = true
+		s.last = n - 1
+		for _, arc := range d.Nodes[n-1].Preds {
+			s.unschedKids[arc.From]--
+		}
+	}
+	cands := make([]int32, 0, 16)
+	for i := int32(0); i < n; i++ {
+		if !picked[i] && s.unschedKids[i] == 0 {
+			cands = append(cands, i)
+		}
+	}
+	for int32(len(rev)) < n {
+		pick := sel.Pick(s, cands)
+		for k, c := range cands {
+			if c == pick {
+				cands[k] = cands[len(cands)-1]
+				cands = cands[:len(cands)-1]
+				break
+			}
+		}
+		picked[pick] = true
+		rev = append(rev, pick)
+		s.last = pick
+		for _, arc := range d.Nodes[pick].Preds {
+			if s.unschedKids[arc.From]--; s.unschedKids[arc.From] == 0 {
+				cands = append(cands, arc.From)
+			}
+		}
+	}
+	order := make([]int32, n)
+	for i, node := range rev {
+		order[n-1-int32(i)] = node
+	}
+	return Timed(d, m, order)
+}
+
+// Timed places an already-ordered instruction sequence on the machine's
+// issue model and returns the timing. It is also the evaluator the
+// post-pass fixup and the tests use to score schedules.
+func Timed(d *dag.DAG, m *machine.Model, order []int32) *Result {
+	s := newState(d, m, nil)
+	for _, i := range order {
+		s.place(i)
+	}
+	return s.result()
+}
+
+// InOrder returns the timing of the block's original instruction order —
+// the baseline every scheduling algorithm is compared against.
+func InOrder(d *dag.DAG, m *machine.Model) *Result {
+	order := make([]int32, d.Len())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	return Timed(d, m, order)
+}
+
+// Legal reports whether a schedule respects every DAG arc's ordering
+// (parents before children in Order) and covers each node exactly once.
+func Legal(d *dag.DAG, r *Result) bool {
+	if len(r.Order) != d.Len() {
+		return false
+	}
+	pos := make([]int32, d.Len())
+	seen := make([]bool, d.Len())
+	for p, node := range r.Order {
+		if node < 0 || int(node) >= d.Len() || seen[node] {
+			return false
+		}
+		seen[node] = true
+		pos[node] = int32(p)
+	}
+	for i := range d.Nodes {
+		for _, arc := range d.Nodes[i].Succs {
+			if pos[arc.From] >= pos[arc.To] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CTILast reports whether the block-ending CTI (if any) stays last.
+func CTILast(d *dag.DAG, r *Result) bool {
+	n := d.Len()
+	if n == 0 || !d.Nodes[n-1].Inst.Op.IsCTI() {
+		return true
+	}
+	return len(r.Order) == n && r.Order[n-1] == int32(n-1)
+}

@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"testing"
+
+	"daginsched/internal/dag"
+	"daginsched/internal/isa"
+	"daginsched/internal/machine"
+	"daginsched/internal/testgen"
+)
+
+func TestReservationTablePlacement(t *testing.T) {
+	m := machine.FPU()
+	rt := NewReservationTable(m)
+	// Two divides on the single non-pipelined divider serialize.
+	if at := rt.TryPlace(isa.FDIVD, 0); at != 0 {
+		t.Fatalf("first divide at %d", at)
+	}
+	if at := rt.TryPlace(isa.FDIVD, 0); at != 20 {
+		t.Fatalf("second divide at %d, want 20", at)
+	}
+	// An FP add uses the (free) adder: placeable immediately.
+	if at := rt.TryPlace(isa.FADDD, 0); at != 0 {
+		t.Fatalf("add at %d, want 0 (separate unit)", at)
+	}
+}
+
+func TestReservationMemoryHoldsAGenSlot(t *testing.T) {
+	m := machine.Pipe1()
+	rt := NewReservationTable(m)
+	// A load holds the load unit and the integer AGen slot at cycle 0.
+	if at := rt.TryPlace(isa.LD, 0); at != 0 {
+		t.Fatalf("load at %d", at)
+	}
+	// An integer op now conflicts on the IU row at cycle 0.
+	if at := rt.TryPlace(isa.ADD, 0); at != 1 {
+		t.Fatalf("add at %d, want 1 (IU row busy)", at)
+	}
+}
+
+func TestReservationBackfills(t *testing.T) {
+	// Critical-path-first ranking places the long chain, then backfills
+	// the independent mov into a cycle before the last placement.
+	insts := []isa.Inst{
+		isa.Fp3(isa.FDIVS, isa.F(1), isa.F(2), isa.F(3)),
+		isa.Fp3(isa.FADDS, isa.F(3), isa.F(2), isa.F(4)),
+		isa.MovI(7, isa.O0),
+	}
+	m := machine.Pipe1()
+	d := buildDAG(t, dag.TableForward{}, m, insts)
+	r := ReservationDefault(d, m)
+	if !Legal(d, r) {
+		t.Fatalf("illegal reservation schedule: %v", r.Order)
+	}
+	if r.Issue[2] >= r.Issue[1] {
+		t.Errorf("mov should backfill before the dependent add: issues %v", r.Issue)
+	}
+	// div issues at 0 (20 cycles), add becomes ready at 20 and finishes
+	// at 24; the backfilled mov adds nothing to the makespan.
+	if r.Cycles != 24 {
+		t.Errorf("cycles = %d, want 24", r.Cycles)
+	}
+}
+
+func TestReservationLegalOnRandomBlocks(t *testing.T) {
+	models := []*machine.Model{machine.Pipe1(), machine.FPU()}
+	for seed := int64(0); seed < 20; seed++ {
+		insts := testgen.Block(seed, 25)
+		for _, m := range models {
+			d := buildDAG(t, dag.TableForward{}, m, insts)
+			r := ReservationDefault(d, m)
+			if !Legal(d, r) {
+				t.Fatalf("seed %d on %s: illegal schedule", seed, m.Name)
+			}
+			if len(r.Order) != d.Len() {
+				t.Fatalf("seed %d: wrong order length", seed)
+			}
+		}
+	}
+}
+
+func TestReservationRespectsArcDelays(t *testing.T) {
+	for seed := int64(30); seed < 45; seed++ {
+		insts := testgen.Block(seed, 20)
+		m := machine.FPU()
+		d := buildDAG(t, dag.TableForward{}, m, insts)
+		r := ReservationDefault(d, m)
+		for i := range d.Nodes {
+			for _, arc := range d.Nodes[i].Succs {
+				if r.Issue[arc.To] < r.Issue[arc.From]+arc.Delay {
+					t.Fatalf("seed %d: arc %d->%d delay %d violated: issues %d, %d",
+						seed, arc.From, arc.To, arc.Delay,
+						r.Issue[arc.From], r.Issue[arc.To])
+				}
+			}
+		}
+	}
+}
+
+func TestReservationCTIStaysLast(t *testing.T) {
+	insts := append(testgen.Block(5, 10),
+		isa.CmpI(isa.O0, 0), isa.Branch(isa.BNE, "L"))
+	for i := range insts {
+		insts[i].Index = i
+	}
+	m := machine.Pipe1()
+	d := buildDAG(t, dag.TableForward{}, m, insts)
+	r := ReservationDefault(d, m)
+	if !CTILast(d, r) {
+		t.Fatalf("CTI not last: %v", r.Order)
+	}
+	last := r.Order[len(r.Order)-1]
+	for i := range d.Nodes {
+		if int32(i) != last && r.Issue[i] >= r.Issue[last] {
+			t.Fatalf("node %d placed at/after the CTI: %v", i, r.Issue)
+		}
+	}
+}
+
+func TestReservationNeverWorseThanInOrderOnFPU(t *testing.T) {
+	// Structural hazards are where reservation tables earn their keep:
+	// the pattern matcher finds free slots an in-order issue would idle
+	// through.
+	worse := 0
+	for seed := int64(100); seed < 130; seed++ {
+		insts := testgen.Block(seed, 25)
+		m := machine.FPU()
+		d := buildDAG(t, dag.TableForward{}, m, insts)
+		r := ReservationDefault(d, m)
+		base := InOrder(d, m)
+		if r.Cycles > base.Cycles {
+			worse++
+		}
+	}
+	if worse > 3 {
+		t.Errorf("reservation scheduling lost to program order on %d/30 blocks", worse)
+	}
+}
+
+func TestReservationEmptyBlock(t *testing.T) {
+	m := machine.Pipe1()
+	d := buildDAG(t, dag.TableForward{}, m, nil)
+	if r := ReservationDefault(d, m); len(r.Order) != 0 || r.Cycles != 0 {
+		t.Error("empty block mishandled")
+	}
+}

@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"daginsched/internal/dag"
+	"daginsched/internal/machine"
+)
+
+// Timeline renders a cycle-by-cycle issue chart of a schedule:
+//
+//	cycle  0 | ld [%fp-4], %o0
+//	cycle  1 | mov 5, %o2
+//	cycle  2 | add %o0, 1, %o1
+//	cycle  3 | (stall)
+//
+// Occupied latency is shown with trailing '=' marks so multi-cycle
+// operations are visible. Useful in examples and when debugging
+// heuristic choices.
+func Timeline(d *dag.DAG, m *machine.Model, r *Result) string {
+	var b strings.Builder
+	if len(r.Order) == 0 {
+		return "(empty schedule)\n"
+	}
+	byCycle := map[int32][]int32{}
+	var last int32
+	for _, node := range r.Order {
+		c := r.Issue[node]
+		byCycle[c] = append(byCycle[c], node)
+		if c > last {
+			last = c
+		}
+	}
+	for c := int32(0); c <= last; c++ {
+		nodes := byCycle[c]
+		if len(nodes) == 0 {
+			fmt.Fprintf(&b, "cycle %3d | (stall)\n", c)
+			continue
+		}
+		for k, node := range nodes {
+			head := fmt.Sprintf("cycle %3d", c)
+			if k > 0 {
+				head = strings.Repeat(" ", len(head))
+			}
+			lat := m.Latency(d.Nodes[node].Inst.Op)
+			marks := ""
+			if lat > 1 {
+				marks = " " + strings.Repeat("=", lat-1)
+			}
+			fmt.Fprintf(&b, "%s | %s%s\n", head, d.Nodes[node].Inst.String(), marks)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"daginsched/internal/dag"
+	"daginsched/internal/isa"
+	"daginsched/internal/machine"
+)
+
+func TestTimelineShowsStallsAndLatency(t *testing.T) {
+	m := machine.Pipe1()
+	d := buildDAG(t, dag.TableForward{}, m, loadStall())
+	base := InOrder(d, m)
+	out := Timeline(d, m, base)
+	if !strings.Contains(out, "(stall)") {
+		t.Errorf("in-order timeline should show the load stall:\n%s", out)
+	}
+	if !strings.Contains(out, "ld [%fp-4], %o0 =") {
+		t.Errorf("latency marks missing:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 4 { // ld, stall, add, mov
+		t.Errorf("timeline has %d lines:\n%s", lines, out)
+	}
+}
+
+func TestTimelineDualIssueSharesCycleRow(t *testing.T) {
+	m := machine.Super2()
+	insts := []isa.Inst{
+		isa.MovI(1, isa.O0),
+		isa.Fp3(isa.FADDS, isa.F(1), isa.F(2), isa.F(3)),
+	}
+	d := buildDAG(t, dag.TableForward{}, m, insts)
+	out := Timeline(d, m, InOrder(d, m))
+	// Both instructions issue in cycle 0: exactly one "cycle   0" header.
+	if strings.Count(out, "cycle   0") != 1 {
+		t.Errorf("dual-issued pair should share one cycle row:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("timeline should have two instruction lines:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	m := machine.Pipe1()
+	d := buildDAG(t, dag.TableForward{}, m, nil)
+	if got := Timeline(d, m, InOrder(d, m)); got != "(empty schedule)\n" {
+		t.Errorf("empty timeline = %q", got)
+	}
+}

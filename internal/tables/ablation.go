@@ -1,0 +1,58 @@
+package tables
+
+import (
+	"fmt"
+	"strings"
+
+	"daginsched/internal/machine"
+	"daginsched/internal/resource"
+	"daginsched/internal/sched"
+)
+
+// AblationTable generalizes the paper's Section 5 observation that
+// Shieh & Papachristou's last-ranked heuristic "could possibly be
+// omitted or replaced with little effect": for every Table 2 algorithm
+// it drops each ranked heuristic in turn and reports the change in
+// total scheduled cycles over the given benchmarks. A near-zero column
+// means the rank is dead weight on this workload; a large positive
+// column means the rank carries the algorithm.
+func AblationTable(sets []BenchmarkSet, m *machine.Model) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Heuristic ablation: %% cycle increase when one rank is dropped (machine %s)\n\n", m.Name)
+	for _, base := range sched.Table2() {
+		full := totalAlgoCycles(sets, base, m)
+		fmt.Fprintf(&b, "%-20s (full: %d cycles)\n", base.Name, full)
+		for rank := range base.Ranked {
+			trimmed := cloneWithout(base, rank)
+			cycles := totalAlgoCycles(sets, trimmed, m)
+			delta := 100 * float64(cycles-full) / float64(full)
+			fmt.Fprintf(&b, "    - rank %d (%s): %+0.2f%%\n",
+				rank+1, base.Ranked[rank].Key, delta)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// cloneWithout copies an algorithm minus one ranked heuristic.
+func cloneWithout(al *sched.Algorithm, rank int) *sched.Algorithm {
+	c := *al
+	c.Ranked = make([]sched.RankedKey, 0, len(al.Ranked)-1)
+	c.Ranked = append(c.Ranked, al.Ranked[:rank]...)
+	c.Ranked = append(c.Ranked, al.Ranked[rank+1:]...)
+	return &c
+}
+
+// totalAlgoCycles sums re-timed schedule lengths over the benchmarks.
+func totalAlgoCycles(sets []BenchmarkSet, al *sched.Algorithm, m *machine.Model) int64 {
+	var total int64
+	for _, set := range sets {
+		rt := resource.NewTable(resource.MemExprModel)
+		for _, blk := range set.Blocks {
+			rt.PrepareBlock(blk.Insts)
+			d := al.Builder().Build(blk, m, rt)
+			total += int64(sched.Timed(d, m, al.Run(d, m).Order).Cycles)
+		}
+	}
+	return total
+}

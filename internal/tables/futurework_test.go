@@ -1,0 +1,87 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"daginsched/internal/machine"
+	"daginsched/internal/synth"
+)
+
+func grepSet(t *testing.T) []BenchmarkSet {
+	t.Helper()
+	p, ok := synth.ByName("grep")
+	if !ok {
+		t.Fatal("grep profile missing")
+	}
+	return []BenchmarkSet{{Name: "grep", Blocks: p.Generate()}}
+}
+
+func TestOptimalityTable(t *testing.T) {
+	out := OptimalityTable(grepSet(t), machine.Pipe1(), 8)
+	if !strings.Contains(out, "grep") || !strings.Contains(out, "%") {
+		t.Fatalf("malformed:\n%s", out)
+	}
+	// Every Table 2 algorithm column must appear.
+	for _, name := range []string{"gibbons", "krishnamur.", "schlansker", "shieh", "tiemann", "warren"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing column %q", name)
+		}
+	}
+	if !strings.Contains(out, "avg excess") {
+		t.Error("missing excess summary")
+	}
+}
+
+func TestOptimalityCapsBlockSize(t *testing.T) {
+	// maxBB beyond the branch-and-bound limit must be clamped, not panic.
+	out := OptimalityTable(grepSet(t), machine.Pipe1(), 1000)
+	if !strings.Contains(out, "blocks <= 16") {
+		t.Fatalf("cap not applied:\n%s", strings.SplitN(out, "\n", 2)[0])
+	}
+}
+
+func TestWinnersBySize(t *testing.T) {
+	out := WinnersBySize(grepSet(t), machine.Pipe1())
+	if !strings.Contains(out, "2-4") || !strings.Contains(out, "5-8") {
+		t.Fatalf("buckets missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ties shared") {
+		t.Error("header missing")
+	}
+}
+
+func TestAblationTable(t *testing.T) {
+	out := AblationTable(grepSet(t), machine.Pipe1())
+	for _, want := range []string{
+		"gibbons-muchnick", "warren", "rank 1", "full:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Every algorithm section lists one line per ranked heuristic.
+	if strings.Count(out, "- rank") != 4+5+2+5+3+6 {
+		t.Errorf("rank-line count wrong:\n%s", out)
+	}
+}
+
+func TestScalingTable(t *testing.T) {
+	out := ScalingTable(machine.Pipe1(), []int{30, 120}, 1)
+	if !strings.Contains(out, "n2/table") || !strings.Contains(out, "120") {
+		t.Fatalf("malformed:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 5 {
+		t.Fatal("missing rows")
+	}
+}
+
+func TestQualityTable(t *testing.T) {
+	out := QualityTable(grepSet(t), machine.Pipe1())
+	if !strings.Contains(out, "schlansker-resv") {
+		t.Error("reservation variant column missing")
+	}
+	if !strings.Contains(out, "baseline") || !strings.Contains(out, "grep") {
+		t.Fatalf("malformed:\n%s", out)
+	}
+}

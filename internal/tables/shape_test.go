@@ -1,0 +1,62 @@
+package tables
+
+import (
+	"testing"
+
+	"daginsched/internal/machine"
+	"daginsched/internal/synth"
+)
+
+// TestHeadlineShapes pins the paper's three headline findings as
+// self-checking assertions with generous margins (timing on shared
+// machines is noisy; the real effects are order-of-magnitude):
+//
+//  1. the n² approach is far slower than table building on the largest
+//     windowed benchmark (paper: 66×; we require ≥ 2×);
+//  2. table building needs no instruction window — full fpppp costs at
+//     most a small factor over fpppp-1000 (paper: 1.14×; we allow 3×);
+//  3. forward and backward table building are comparable (paper: ~1×;
+//     we allow 3×).
+func TestHeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing shapes skipped in -short mode")
+	}
+	m := machine.Pipe1()
+	p, _ := synth.ByName("fpppp")
+	w1000 := p.GenerateWindowed(1000)
+	full := p.Generate()
+	aps := Approaches()
+
+	n2 := Run("fpppp-1000", w1000, aps[0], m, 3)
+	fwd1000 := Run("fpppp-1000", w1000, aps[1], m, 3)
+	bwd1000 := Run("fpppp-1000", w1000, aps[2], m, 3)
+	fwdFull := Run("fpppp", full, aps[1], m, 3)
+
+	if n2.Seconds < 2*fwd1000.Seconds {
+		t.Errorf("finding 1 lost: n² %.4fs vs table %.4fs (want >= 2x)",
+			n2.Seconds, fwd1000.Seconds)
+	}
+	if fwdFull.Seconds > 3*fwd1000.Seconds {
+		t.Errorf("finding 2 lost: full fpppp %.4fs vs windowed %.4fs (want <= 3x)",
+			fwdFull.Seconds, fwd1000.Seconds)
+	}
+	ratio := fwd1000.Seconds / bwd1000.Seconds
+	if ratio < 1.0/3 || ratio > 3 {
+		t.Errorf("finding 3 lost: fwd %.4fs vs bwd %.4fs", fwd1000.Seconds, bwd1000.Seconds)
+	}
+
+	// The structural side of finding 1 is deterministic and tight: the
+	// paper reports 55.61 children/inst and 2104.56 arcs/block for n² on
+	// fpppp-1000; our calibrated generator lands within 10%.
+	if n2.ChildrenAvg < 50 || n2.ChildrenAvg > 61 {
+		t.Errorf("n² children/inst = %.2f, want ~55.6 ± 10%%", n2.ChildrenAvg)
+	}
+	if n2.ArcsAvg < 1894 || n2.ArcsAvg > 2315 {
+		t.Errorf("n² arcs/block = %.2f, want ~2104 ± 10%%", n2.ArcsAvg)
+	}
+	// Table building retains far fewer arcs (paper: 88 vs 2104).
+	if fwd1000.ArcsAvg > n2.ArcsAvg/5 {
+		t.Errorf("table arcs/block %.2f not well below n² %.2f",
+			fwd1000.ArcsAvg, n2.ArcsAvg)
+	}
+}

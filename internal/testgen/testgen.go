@@ -1,0 +1,98 @@
+// Package testgen generates small random instruction blocks for the
+// test suites. It is deliberately simpler than the calibrated benchmark
+// generator in package synth: the goal here is adversarial density of
+// dependences (heavy register reuse, mixed loads/stores, condition
+// codes, register pairs) on tiny blocks, so property tests can compare
+// DAG builders and schedulers against brute-force references.
+package testgen
+
+import (
+	"math/rand"
+
+	"daginsched/internal/isa"
+)
+
+// intPool is the register pool used for integer operands; the small
+// size forces frequent WAR/WAW dependences.
+var intPool = []isa.Reg{isa.O0, isa.O1, isa.O2, isa.L0, isa.L1, isa.G1}
+
+// fpPool holds even FP registers so pair instructions stay legal.
+var fpPool = []isa.Reg{isa.F0, isa.F(2), isa.F(4), isa.F(6)}
+
+// Block generates n straight-line (CTI-free) instructions from seed.
+// The mix covers integer ALU, loads, stores, condition codes and
+// double-precision FP pairs.
+func Block(seed int64, n int) []isa.Inst {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]isa.Inst, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, randInst(rng))
+	}
+	for i := range out {
+		out[i].Index = i
+	}
+	return out
+}
+
+// IntBlock generates n instructions restricted to the integer subset
+// (no FP, no pairs), which keeps brute-force interpreters simple.
+func IntBlock(seed int64, n int) []isa.Inst {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]isa.Inst, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, randIntInst(rng))
+	}
+	for i := range out {
+		out[i].Index = i
+	}
+	return out
+}
+
+func pick(rng *rand.Rand, pool []isa.Reg) isa.Reg {
+	return pool[rng.Intn(len(pool))]
+}
+
+func randOffset(rng *rand.Rand) int32 {
+	return int32(rng.Intn(4)) * 4
+}
+
+func randIntInst(rng *rand.Rand) isa.Inst {
+	switch rng.Intn(8) {
+	case 0:
+		return isa.MovI(int32(rng.Intn(100)), pick(rng, intPool))
+	case 1:
+		return isa.RRR(isa.ADD, pick(rng, intPool), pick(rng, intPool), pick(rng, intPool))
+	case 2:
+		return isa.RIR(isa.SUB, pick(rng, intPool), int32(rng.Intn(16)), pick(rng, intPool))
+	case 3:
+		return isa.RRR(isa.XOR, pick(rng, intPool), pick(rng, intPool), pick(rng, intPool))
+	case 4:
+		return isa.Load(isa.LD, isa.FP, -randOffset(rng)-4, pick(rng, intPool))
+	case 5:
+		return isa.Store(isa.ST, pick(rng, intPool), isa.FP, -randOffset(rng)-4)
+	case 6:
+		return isa.RRR(isa.SUBCC, pick(rng, intPool), pick(rng, intPool), pick(rng, intPool))
+	default:
+		return isa.RIR(isa.SLL, pick(rng, intPool), int32(rng.Intn(8)), pick(rng, intPool))
+	}
+}
+
+func randInst(rng *rand.Rand) isa.Inst {
+	if rng.Intn(3) > 0 {
+		return randIntInst(rng)
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return isa.Fp3(isa.FADDD, pick(rng, fpPool), pick(rng, fpPool), pick(rng, fpPool))
+	case 1:
+		return isa.Fp3(isa.FMULD, pick(rng, fpPool), pick(rng, fpPool), pick(rng, fpPool))
+	case 2:
+		return isa.Fp3(isa.FDIVD, pick(rng, fpPool), pick(rng, fpPool), pick(rng, fpPool))
+	case 3:
+		return isa.Load(isa.LDDF, isa.SP, randOffset(rng)+64, pick(rng, fpPool))
+	case 4:
+		return isa.Store(isa.STDF, pick(rng, fpPool), isa.SP, randOffset(rng)+64)
+	default:
+		return isa.Fp2(isa.FMOVS, pick(rng, fpPool), pick(rng, fpPool))
+	}
+}

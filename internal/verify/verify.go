@@ -1,0 +1,139 @@
+// Package verify validates schedules end to end. It wraps the
+// invariants the test suites enforce into a user-facing checker, so a
+// downstream scheduler experiment can assert its output is sound:
+//
+//   - completeness: the order is a permutation of the block;
+//   - legality: every dependence arc of an independently built DAG is
+//     respected (parents first), under the strictest memory model;
+//   - timing: issue cycles satisfy every arc delay and the machine's
+//     issue width;
+//   - semantics: for straight-line blocks, executing the permutation on
+//     the architectural interpreter from random initial states produces
+//     the same final state as program order.
+package verify
+
+import (
+	"fmt"
+
+	"daginsched/internal/block"
+	"daginsched/internal/dag"
+	"daginsched/internal/interp"
+	"daginsched/internal/isa"
+	"daginsched/internal/machine"
+	"daginsched/internal/resource"
+	"daginsched/internal/sched"
+)
+
+// Error is a verification failure with a category tag.
+type Error struct {
+	Category string // "completeness", "legality", "timing", "semantics"
+	Detail   string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("verify: %s: %s", e.Category, e.Detail)
+}
+
+// Schedule checks a schedule for one block on a machine. memModel must
+// be the disambiguation policy the scheduler was entitled to use — a
+// reordering of provably-disjoint memory accesses is legal under
+// MemExprModel but not under MemSingleModel, so verifying with a
+// stricter model than the scheduler's raises false alarms. The
+// semantics trials (`trials` random initial states; 0 disables) are the
+// model-independent ground truth. The trailing CTI of a well-formed
+// block is skipped during execution automatically.
+func Schedule(b *block.Block, m *machine.Model, r *sched.Result,
+	memModel resource.MemModel, trials int) error {
+	n := b.Len()
+	if len(r.Order) != n {
+		return &Error{"completeness", fmt.Sprintf("order has %d of %d instructions", len(r.Order), n)}
+	}
+	seen := make([]bool, n)
+	for _, node := range r.Order {
+		if node < 0 || int(node) >= n || seen[node] {
+			return &Error{"completeness", fmt.Sprintf("node %d repeated or out of range", node)}
+		}
+		seen[node] = true
+	}
+
+	// Legality against an independently built DAG under the caller's
+	// memory model.
+	rt := resource.NewTable(memModel)
+	rt.PrepareBlock(b.Insts)
+	d := dag.TableForward{}.Build(b, m, rt)
+	pos := make([]int32, n)
+	for p, node := range r.Order {
+		pos[node] = int32(p)
+	}
+	for i := range d.Nodes {
+		for _, arc := range d.Nodes[i].Succs {
+			if pos[arc.From] >= pos[arc.To] {
+				return &Error{"legality", fmt.Sprintf("arc %d->%d (%s) inverted",
+					arc.From, arc.To, arc.Kind)}
+			}
+			if r.Issue != nil && r.Issue[arc.To] < r.Issue[arc.From]+arc.Delay {
+				return &Error{"timing", fmt.Sprintf("arc %d->%d needs %d cycles, got %d",
+					arc.From, arc.To, arc.Delay, r.Issue[arc.To]-r.Issue[arc.From])}
+			}
+		}
+	}
+	if r.Issue != nil {
+		if err := checkWidth(b, m, r); err != nil {
+			return err
+		}
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		if err := checkSemantics(b, r, uint64(trial)*7919+13); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkWidth verifies no cycle issues more instructions than the
+// machine's width allows.
+func checkWidth(b *block.Block, m *machine.Model, r *sched.Result) error {
+	perCycle := map[int32]int{}
+	for _, node := range r.Order {
+		c := r.Issue[node]
+		perCycle[c]++
+		if perCycle[c] > m.IssueWidth {
+			return &Error{"timing", fmt.Sprintf("cycle %d issues %d instructions on a width-%d machine",
+				c, perCycle[c], m.IssueWidth)}
+		}
+	}
+	return nil
+}
+
+// checkSemantics runs program order and the schedule from one random
+// state; CTIs (legal only as the trailing instruction) are skipped.
+func checkSemantics(b *block.Block, r *sched.Result, seed uint64) error {
+	runnable := func(in *isa.Inst) bool {
+		return !in.Op.IsCTI() && in.Op.Class() != isa.ClassWindow
+	}
+	ref := interp.NewState(seed)
+	for i := range b.Insts {
+		if !runnable(&b.Insts[i]) {
+			continue
+		}
+		if err := ref.Exec(&b.Insts[i]); err != nil {
+			return &Error{"semantics", err.Error()}
+		}
+	}
+	got := interp.NewState(seed)
+	for _, node := range r.Order {
+		in := &b.Insts[node]
+		if !runnable(in) {
+			continue
+		}
+		if err := got.Exec(in); err != nil {
+			return &Error{"semantics", err.Error()}
+		}
+	}
+	if !got.Equal(ref) {
+		return &Error{"semantics", fmt.Sprintf("seed %d: state diverged: %s", seed, got.Diff(ref))}
+	}
+	return nil
+}
