@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One-iteration engine benchmark pass: proves the steady-state
+# zero-allocation property (-benchmem must report 0 allocs/op for the
+# single-worker rows) without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Engine -benchmem -benchtime 1x .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+ci:
+	sh scripts/ci.sh

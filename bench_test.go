@@ -66,12 +66,19 @@ var table5Names = append(append([]string{}, table4Names...),
 func runApproach(b *testing.B, blocks []*block.Block, ap tables.Approach) {
 	b.Helper()
 	m := machine.Pipe1()
+	b.ReportAllocs()
 	b.ResetTimer()
+	var arcs float64
 	for i := 0; i < b.N; i++ {
 		st := tables.Run("bench", blocks, ap, m, 1)
 		if st.Cycles <= 0 {
 			b.Fatal("no work done")
 		}
+		arcs += st.ArcsAvg * float64(len(blocks))
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*float64(len(blocks))/secs, "blocks/sec")
+		b.ReportMetric(arcs/secs, "arcs/sec")
 	}
 }
 

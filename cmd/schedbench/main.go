@@ -7,19 +7,29 @@
 //
 //	schedbench [-table3] [-table4] [-table5] [-fig1] [-all]
 //	           [-model pipe1|fpu|asym|super2] [-runs 5] [-bench name]
+//	schedbench -parallel [-workers N] [-builder tableb|tablef]
+//	           [-verify] [-json BENCH_engine.json]
 //
 // With no table flags, -all is assumed. As in the paper, Table 4 stops
 // at fpppp-1000: the n² approach's "excessive time and space
 // requirements" are the point being demonstrated, and the instruction
 // window caps them.
+//
+// -parallel benchmarks the batch scheduling engine (internal/engine):
+// each benchmark's blocks are scheduled once by a single-worker engine
+// and once by an N-worker pool, both warmed so the measurement sees
+// the steady (allocation-free) state, and the per-benchmark engine
+// statistics are written as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"daginsched/internal/engine"
 	"daginsched/internal/machine"
 	"daginsched/internal/tables"
 )
@@ -40,9 +50,14 @@ func main() {
 		model   = flag.String("model", "pipe1", "machine model (pipe1, fpu, asym, super2)")
 		runs    = flag.Int("runs", 5, "timing runs to average (the paper used five)")
 		bench   = flag.String("bench", "", "restrict to one benchmark (prefix match)")
+		par     = flag.Bool("parallel", false, "benchmark the parallel batch engine")
+		workers = flag.Int("workers", 0, "engine worker-pool size for -parallel (0 = GOMAXPROCS)")
+		builder = flag.String("builder", "tableb", "engine construction pipeline for -parallel (tableb, tablef)")
+		verify  = flag.Bool("verify", false, "cross-check every engine schedule on the scoreboard simulator")
+		jsonOut = flag.String("json", "BENCH_engine.json", "file for -parallel engine statistics JSON")
 	)
 	flag.Parse()
-	if !*t3 && !*t4 && !*t5 && !*fig1 && !*quality && !*optim && !*winners && !*scaling && !*ablate {
+	if !*t3 && !*t4 && !*t5 && !*fig1 && !*quality && !*optim && !*winners && !*scaling && !*ablate && !*par {
 		*all = true
 	}
 	m, ok := machine.ByName(*model)
@@ -129,4 +144,90 @@ func main() {
 		}
 		fmt.Println(tables.WinnersBySize(wsets, m))
 	}
+	if *par {
+		if err := runParallel(sets, m, *model, *workers, *builder, *verify, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// engineReport is one benchmark's serial-vs-parallel engine comparison.
+type engineReport struct {
+	Name     string       `json:"name"`
+	Serial   engine.Stats `json:"serial"`
+	Parallel engine.Stats `json:"parallel"`
+	Speedup  float64      `json:"speedup"`
+}
+
+// engineFile is the BENCH_engine.json document.
+type engineFile struct {
+	Model      string         `json:"model"`
+	Builder    string         `json:"builder"`
+	Workers    int            `json:"workers"`
+	Benchmarks []engineReport `json:"benchmarks"`
+}
+
+// runParallel benchmarks the batch engine over every set: a warmed
+// single-worker run against a warmed N-worker run, printed as a table
+// and written as JSON. Speedup is hardware-dependent — it tracks the
+// machine's physical core count, not the configured worker count.
+func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string, workers int, builder string, verify bool, jsonPath string) error {
+	mk := func(w int) (*engine.Engine, error) {
+		return engine.New(engine.Config{
+			Workers: w, Model: m, Builder: builder, Verify: verify,
+		})
+	}
+	serial, err := mk(1)
+	if err != nil {
+		return err
+	}
+	parallel, err := mk(workers)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Parallel batch engine: builder %s, %d workers, model %s\n\n",
+		builder, parallel.Workers(), modelName)
+	fmt.Printf("%-12s %8s %8s %14s %14s %8s %9s %9s\n",
+		"benchmark", "#blocks", "#insts", "serial blk/s", "parallel blk/s",
+		"speedup", "p50(us)", "p99(us)")
+	fmt.Println(strings.Repeat("-", 90))
+
+	doc := engineFile{Model: modelName, Builder: builder, Workers: parallel.Workers()}
+	for _, set := range sets {
+		// Two runs per engine: the first grows every worker arena, the
+		// second measures the steady state.
+		stats := make([]engine.Stats, 2)
+		for i, e := range []*engine.Engine{serial, parallel} {
+			res := new(engine.BatchResult)
+			if _, err := e.RunInto(res, set.Blocks); err != nil {
+				return fmt.Errorf("%s: %w", set.Name, err)
+			}
+			if _, err := e.RunInto(res, set.Blocks); err != nil {
+				return fmt.Errorf("%s: %w", set.Name, err)
+			}
+			stats[i] = res.Stats
+		}
+		rep := engineReport{Name: set.Name, Serial: stats[0], Parallel: stats[1]}
+		if stats[1].WallSeconds > 0 {
+			rep.Speedup = stats[0].WallSeconds / stats[1].WallSeconds
+		}
+		doc.Benchmarks = append(doc.Benchmarks, rep)
+		fmt.Printf("%-12s %8d %8d %14.0f %14.0f %7.2fx %9.1f %9.1f\n",
+			set.Name, rep.Parallel.Blocks, rep.Parallel.Insts,
+			rep.Serial.BlocksPerSec, rep.Parallel.BlocksPerSec,
+			rep.Speedup, rep.Parallel.P50Micros, rep.Parallel.P99Micros)
+	}
+
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nengine statistics written to %s\n", jsonPath)
+	return nil
 }

@@ -4,7 +4,10 @@
 package daginsched_test
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -102,5 +105,34 @@ func TestSmokeSchedbench(t *testing.T) {
 	out = runTool(t, "", "schedbench", "-table5", "-runs", "1", "-bench", "grep")
 	if !strings.Contains(out, "fwd(s)") {
 		t.Errorf("schedbench -table5:\n%s", out)
+	}
+	jsonPath := filepath.Join(t.TempDir(), "engine.json")
+	out = runTool(t, "", "schedbench", "-parallel", "-workers", "2",
+		"-bench", "grep", "-verify", "-json", jsonPath)
+	if !strings.Contains(out, "Parallel batch engine") || !strings.Contains(out, "speedup") {
+		t.Errorf("schedbench -parallel:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("engine JSON not written: %v", err)
+	}
+	var doc struct {
+		Workers    int `json:"workers"`
+		Benchmarks []struct {
+			Name     string  `json:"name"`
+			Speedup  float64 `json:"speedup"`
+			Parallel struct {
+				Blocks       int     `json:"blocks"`
+				BlocksPerSec float64 `json:"blocks_per_sec"`
+			} `json:"parallel"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("engine JSON malformed: %v\n%s", err, data)
+	}
+	if doc.Workers != 2 || len(doc.Benchmarks) != 1 ||
+		doc.Benchmarks[0].Parallel.Blocks != 730 ||
+		doc.Benchmarks[0].Parallel.BlocksPerSec <= 0 {
+		t.Errorf("engine JSON contents wrong: %+v", doc)
 	}
 }

@@ -124,6 +124,23 @@ func (s *Set) Reset() {
 	}
 }
 
+// Reuse makes s an empty set with capacity for at least n bits,
+// recycling the backing array when it is large enough. It is the
+// allocation-free equivalent of New(n) for pooled sets: per-worker
+// arenas call it once per block on each recycled node bit map, so the
+// steady-state DAG construction path never allocates a set.
+func (s *Set) Reuse(n int) {
+	need := (n + wordBits - 1) / wordBits
+	if cap(s.words) < need {
+		s.words = make([]uint64, need)
+		return
+	}
+	s.words = s.words[:need]
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
 // Clone returns an independent copy of s.
 func (s *Set) Clone() *Set {
 	c := &Set{words: make([]uint64, len(s.words))}

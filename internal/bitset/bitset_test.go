@@ -376,3 +376,64 @@ func BenchmarkCount(b *testing.B) {
 		_ = a.Count()
 	}
 }
+
+func TestReuse(t *testing.T) {
+	s := New(256)
+	s.Set(5)
+	s.Set(200)
+
+	// Shrinking reuse keeps the backing array and clears everything.
+	s.Reuse(64)
+	if !s.Empty() {
+		t.Errorf("after Reuse(64) set not empty: %v", s)
+	}
+	if s.Test(5) || s.Test(200) {
+		t.Error("stale bits survived Reuse")
+	}
+	s.Set(63)
+	if !s.Test(63) {
+		t.Error("Set after Reuse lost bit 63")
+	}
+
+	// Bits beyond the reused length read clear and can be set again
+	// (growing within the retained capacity).
+	if s.Test(200) {
+		t.Error("bit beyond reused length reads set")
+	}
+	s.Set(200)
+	if !s.Test(200) {
+		t.Error("re-grow within capacity failed")
+	}
+
+	// Growing reuse past capacity allocates a clean set.
+	s.Reuse(100000)
+	if !s.Empty() {
+		t.Error("grown Reuse not empty")
+	}
+	s.Set(99999)
+	if !s.Test(99999) {
+		t.Error("bit 99999 lost after growing Reuse")
+	}
+
+	// Reuse on the zero value behaves like New.
+	var z Set
+	z.Reuse(70)
+	if !z.Empty() {
+		t.Error("zero-value Reuse not empty")
+	}
+	z.Set(69)
+	if !z.Test(69) {
+		t.Error("zero-value Reuse cannot address bit 69")
+	}
+}
+
+func TestReuseZeroAlloc(t *testing.T) {
+	s := New(512)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reuse(512)
+		s.Set(100)
+	})
+	if allocs != 0 {
+		t.Errorf("Reuse at capacity allocates %.1f/op", allocs)
+	}
+}

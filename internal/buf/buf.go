@@ -1,0 +1,44 @@
+// Package buf provides tiny zeroing-resize helpers for the reusable
+// scratch buffers threaded through the scheduling hot paths. Each
+// helper returns a slice of exactly n elements, all zero, reusing the
+// argument's backing array when its capacity suffices — the pattern
+// that keeps the steady-state per-block path of internal/engine
+// allocation-free once every buffer has grown to the batch's largest
+// block.
+package buf
+
+// Int32 returns a zeroed []int32 of length n, reusing s's capacity.
+func Int32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Int64 returns a zeroed []int64 of length n, reusing s's capacity.
+func Int64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Bool returns a false-filled []bool of length n, reusing s's capacity.
+func Bool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}

@@ -1,0 +1,56 @@
+package buf
+
+import "testing"
+
+func TestInt32ReusesCapacity(t *testing.T) {
+	s := make([]int32, 8, 16)
+	for i := range s {
+		s[i] = 42
+	}
+	r := Int32(s, 12)
+	if len(r) != 12 {
+		t.Fatalf("len = %d, want 12", len(r))
+	}
+	if &r[0] != &s[:1][0] {
+		t.Error("capacity not reused")
+	}
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("r[%d] = %d, want 0", i, v)
+		}
+	}
+	// Growing past capacity allocates fresh.
+	r2 := Int32(r, 32)
+	if len(r2) != 32 {
+		t.Fatalf("len = %d, want 32", len(r2))
+	}
+	for i, v := range r2 {
+		if v != 0 {
+			t.Fatalf("r2[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestInt64AndBool(t *testing.T) {
+	i64 := Int64([]int64{9, 9, 9}, 2)
+	if len(i64) != 2 || i64[0] != 0 || i64[1] != 0 {
+		t.Errorf("Int64 = %v", i64)
+	}
+	b := Bool([]bool{true, true}, 2)
+	if len(b) != 2 || b[0] || b[1] {
+		t.Errorf("Bool = %v", b)
+	}
+	if got := Bool(nil, 3); len(got) != 3 {
+		t.Errorf("Bool(nil,3) len = %d", len(got))
+	}
+}
+
+func TestZeroAllocOnReuse(t *testing.T) {
+	s := make([]int32, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		s = Int32(s, 64)
+	})
+	if allocs != 0 {
+		t.Errorf("Int32 reuse allocates %.1f/op", allocs)
+	}
+}

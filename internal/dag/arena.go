@@ -1,0 +1,103 @@
+package dag
+
+import (
+	"daginsched/internal/bitset"
+	"daginsched/internal/block"
+	"daginsched/internal/machine"
+	"daginsched/internal/resource"
+)
+
+// BuildArena is the per-worker scratch store of the reuse-aware
+// construction path. It owns one DAG shell whose node array, arc
+// lists, per-node use/def bit maps, table-building state, arc-dedupe
+// arrays and reachability maps are all recycled from block to block,
+// so that a worker building DAGs for a stream of same-scale blocks
+// performs no steady-state allocations (everything has grown to the
+// stream's largest block after warm-up).
+//
+// The DAG returned by BuildInto (or ResetFor) is owned by the arena
+// and remains valid only until the arena's next ResetFor/BuildInto
+// call; callers that need the DAG to outlive the next block must use
+// the plain Build path instead. A BuildArena is not safe for
+// concurrent use — the batch engine gives each worker its own.
+//
+// The zero value is ready to use.
+type BuildArena struct {
+	d  DAG
+	sc instScratch
+	ts tableState
+	ad arcDeduper
+
+	// reach pools the per-node reachability sets handed to DAGs built
+	// with TableBackward{PreventTransitive: true}. The slice header
+	// published on DAG.Reach is carved per block; the sets themselves
+	// are recycled.
+	reach []*bitset.Set
+}
+
+// ResetFor recycles the arena's DAG storage for block b: the node
+// array is resized (retaining each node's arc-list and bit-map
+// capacity), arc lists are emptied, and counters cleared. Builders
+// call it at the top of BuildInto; it is exported so future builders
+// outside this package can join the reuse protocol.
+func (ar *BuildArena) ResetFor(b *block.Block, builder string) *DAG {
+	d := &ar.d
+	d.Block = b
+	d.Builder = builder
+	d.NumArcs = 0
+	d.Reach = nil
+	n := len(b.Insts)
+	if cap(d.Nodes) >= n {
+		d.Nodes = d.Nodes[:n]
+	} else {
+		nodes := make([]Node, n)
+		// Keep the recycled nodes' allocated Succs/Preds/bit-map
+		// storage; only the tail is genuinely new.
+		copy(nodes, d.Nodes[:cap(d.Nodes)])
+		d.Nodes = nodes
+	}
+	for i := 0; i < n; i++ {
+		nd := &d.Nodes[i]
+		nd.Inst = &b.Insts[i]
+		nd.Succs = nd.Succs[:0]
+		nd.Preds = nd.Preds[:0]
+		// UseBM/DefBM are recycled lazily by instScratch.extract.
+	}
+	return d
+}
+
+// reachSets returns n pooled, emptied reachability sets (each with its
+// own storage recycled across blocks). Index i's set has bit capacity
+// for n nodes but starts empty; the transitive-arc-refusing builder
+// fills them as it finalizes nodes.
+func (ar *BuildArena) reachSets(n int) []*bitset.Set {
+	if n == 0 {
+		return nil // match a cold build: no maps for an empty block
+	}
+	if cap(ar.reach) < n {
+		grown := make([]*bitset.Set, n)
+		copy(grown, ar.reach[:cap(ar.reach)])
+		ar.reach = grown
+	}
+	ar.reach = ar.reach[:n]
+	for i := range ar.reach {
+		if ar.reach[i] == nil {
+			ar.reach[i] = bitset.New(n)
+		} else {
+			ar.reach[i].Reuse(n)
+		}
+	}
+	return ar.reach
+}
+
+// ReuseBuilder is implemented by construction algorithms that support
+// the arena protocol: BuildInto behaves exactly like Build but draws
+// every piece of storage from the arena. The two table-building
+// algorithms implement it; the n² builders do not (the paper's point
+// is that they are not the production path).
+type ReuseBuilder interface {
+	Builder
+	// BuildInto constructs the DAG inside ar. The returned DAG is
+	// owned by ar and is invalidated by ar's next BuildInto/ResetFor.
+	BuildInto(ar *BuildArena, b *block.Block, m *machine.Model, rt *resource.Table) *DAG
+}

@@ -87,6 +87,14 @@ func (n *Node) NumChildren() int { return len(n.Succs) }
 func (n *Node) NumParents() int { return len(n.Preds) }
 
 // DAG is the dependence DAG (in general a forest) of one basic block.
+//
+// Immutability contract: once a Builder's Build (or BuildInto) returns,
+// the DAG's structure — Nodes, arc lists, NumArcs — is immutable.
+// Consumers (heuristic passes, schedulers, statistics) only read it,
+// and Reachability caches its result on Reach under that assumption;
+// nothing invalidates the cache because nothing may change the arcs.
+// Code that wants a different DAG builds a new one (or recycles this
+// one's storage through a BuildArena, which abandons the old view).
 type DAG struct {
 	Block   *block.Block
 	Nodes   []Node
@@ -141,6 +149,11 @@ func (d *DAG) addArc(a, b int32, kind DepKind, delay int32) {
 // recommends for the #descendants heuristic ("the #descendants is then
 // merely the population count on the reachability bit map ... minus
 // one").
+//
+// The result is cached on Reach and never invalidated — safe because a
+// built DAG is immutable (see the DAG contract above). Whenever Reach
+// is present it must hold exactly one map per node; Validate checks
+// that invariant.
 func (d *DAG) Reachability() []*bitset.Set {
 	if d.Reach != nil {
 		return d.Reach
@@ -185,9 +198,24 @@ func (d *DAG) TransitiveArcs() int {
 }
 
 // Validate checks structural invariants: arcs point forward in program
-// order, no self-arcs, positive delays, and Succs/Preds mirror each
-// other. It returns the first violation found.
+// order, no self-arcs, positive delays, Succs/Preds mirror each other,
+// and any cached reachability (Reach) covers every node. It returns the
+// first violation found.
 func (d *DAG) Validate() error {
+	if d.Reach != nil {
+		if len(d.Reach) != len(d.Nodes) {
+			return fmt.Errorf("cached Reach covers %d nodes, DAG has %d",
+				len(d.Reach), len(d.Nodes))
+		}
+		for i, r := range d.Reach {
+			if r == nil {
+				return fmt.Errorf("cached Reach[%d] is nil", i)
+			}
+			if !r.Test(i) {
+				return fmt.Errorf("cached Reach[%d] missing self bit", i)
+			}
+		}
+	}
 	var succTotal, predTotal int
 	for i := range d.Nodes {
 		for _, arc := range d.Nodes[i].Succs {
@@ -282,7 +310,9 @@ type instScratch struct {
 }
 
 // extract interns instruction in's resources and fills the node's
-// use/def bit maps, sized to the table's current resource count.
+// use/def bit maps, sized to the table's current resource count. Nodes
+// recycled through a BuildArena keep their bit-map storage: the sets
+// are Reused in place instead of reallocated.
 func (sc *instScratch) extract(in *isa.Inst, rt *resource.Table, node *Node) (uses, defs []ref) {
 	sc.uses = in.AppendUses(sc.uses[:0])
 	sc.defs = in.AppendDefs(sc.defs[:0])
@@ -294,8 +324,17 @@ func (sc *instScratch) extract(in *isa.Inst, rt *resource.Table, node *Node) (us
 	for _, dd := range sc.defs {
 		sc.drefs = append(sc.drefs, ref{id: rt.RefID(dd), pairSecond: in.PairSecondDef(dd)})
 	}
-	node.UseBM = bitset.New(rt.NumResources())
-	node.DefBM = bitset.New(rt.NumResources())
+	n := rt.NumResources()
+	if node.UseBM == nil {
+		node.UseBM = bitset.New(n)
+	} else {
+		node.UseBM.Reuse(n)
+	}
+	if node.DefBM == nil {
+		node.DefBM = bitset.New(n)
+	} else {
+		node.DefBM.Reuse(n)
+	}
 	for _, u := range sc.urefs {
 		node.UseBM.Set(int(u.id))
 	}
@@ -311,7 +350,7 @@ func (sc *instScratch) extract(in *isa.Inst, rt *resource.Table, node *Node) (us
 // pair). It relies on the builders' property that all arcs touching the
 // in-flight node are proposed while that node is current.
 type arcDeduper struct {
-	mark  []int32 // epoch-stamped: mark[peer] == epoch+pos+1 when present
+	mark  []int32 // epoch-stamped: mark[peer] == epoch when present
 	pos   []int32 // index into pending
 	epoch int32
 	pend  []Arc
@@ -319,6 +358,27 @@ type arcDeduper struct {
 
 func newArcDeduper(n int) *arcDeduper {
 	return &arcDeduper{mark: make([]int32, n), pos: make([]int32, n)}
+}
+
+// reset readies the deduper for a block of n instructions, recycling
+// its arrays. The epoch counter keeps running across blocks — stale
+// marks hold strictly older epochs and never match — but is rewound
+// (with a full clear) long before it could wrap int32.
+func (ad *arcDeduper) reset(n int) {
+	if cap(ad.mark) < n {
+		ad.mark = make([]int32, n)
+		ad.pos = make([]int32, n)
+		ad.epoch = 0
+		return
+	}
+	ad.mark = ad.mark[:n]
+	ad.pos = ad.pos[:n]
+	if ad.epoch > 1<<30 {
+		for i := range ad.mark {
+			ad.mark[i] = 0
+		}
+		ad.epoch = 0
+	}
 }
 
 // begin starts collecting arcs for a new in-flight node.

@@ -31,6 +31,17 @@ func (ts *tableState) grow(n int) {
 	}
 }
 
+// reset empties the table for a new block while keeping every
+// allocated array — including each resource's use-list capacity — so
+// recycled state performs no steady-state allocations.
+func (ts *tableState) reset() {
+	for i := range ts.lastDef {
+		ts.lastDef[i] = 0
+		ts.defPairOdd[i] = false
+		ts.useList[i] = ts.useList[i][:0]
+	}
+}
+
 // TableForward is forward-pass table building (Krishnamurthy-like).
 // Resource uses of the new node are processed before its definitions;
 // a definition draws WAR arcs from the pending use list (clearing it)
@@ -47,12 +58,21 @@ func (TableForward) Name() string { return "tablef" }
 func (TableForward) Direction() Direction { return Forward }
 
 // Build implements Builder.
-func (TableForward) Build(b *block.Block, m *machine.Model, rt *resource.Table) *DAG {
-	d := newDAG(b, "tablef")
-	var sc instScratch
-	var ts tableState
+func (t TableForward) Build(b *block.Block, m *machine.Model, rt *resource.Table) *DAG {
+	return t.BuildInto(new(BuildArena), b, m, rt)
+}
+
+// BuildInto implements ReuseBuilder: identical construction, but every
+// piece of storage — nodes, arc lists, bit maps, table state — is
+// recycled from the arena. The returned DAG is arena-owned.
+func (t TableForward) BuildInto(ar *BuildArena, b *block.Block, m *machine.Model, rt *resource.Table) *DAG {
+	d := ar.ResetFor(b, t.Name())
+	sc := &ar.sc
+	ts := &ar.ts
+	ts.reset()
 	ts.grow(rt.NumResources())
-	ad := newArcDeduper(len(b.Insts))
+	ad := &ar.ad
+	ad.reset(len(b.Insts))
 	for i := int32(0); i < int32(len(d.Nodes)); i++ {
 		node := &d.Nodes[i]
 		uses, defs := sc.extract(node.Inst, rt, node)
@@ -124,15 +144,25 @@ func (TableBackward) Direction() Direction { return Backward }
 
 // Build implements Builder.
 func (t TableBackward) Build(b *block.Block, m *machine.Model, rt *resource.Table) *DAG {
-	d := newDAG(b, t.Name())
+	return t.BuildInto(new(BuildArena), b, m, rt)
+}
+
+// BuildInto implements ReuseBuilder: identical construction, but every
+// piece of storage — nodes, arc lists, bit maps, table state,
+// reachability maps — is recycled from the arena. The returned DAG is
+// arena-owned.
+func (t TableBackward) BuildInto(ar *BuildArena, b *block.Block, m *machine.Model, rt *resource.Table) *DAG {
+	d := ar.ResetFor(b, t.Name())
 	n := int32(len(d.Nodes))
-	var sc instScratch
-	var ts tableState
+	sc := &ar.sc
+	ts := &ar.ts
+	ts.reset()
 	ts.grow(rt.NumResources())
-	ad := newArcDeduper(len(b.Insts))
+	ad := &ar.ad
+	ad.reset(len(b.Insts))
 	var reach []*bitset.Set
 	if t.PreventTransitive {
-		reach = make([]*bitset.Set, n)
+		reach = ar.reachSets(int(n))
 	}
 	if t.Observer != nil {
 		t.Observer.Start(d)
@@ -169,9 +199,8 @@ func (t TableBackward) Build(b *block.Block, m *machine.Model, rt *resource.Tabl
 			ts.useList[u.id] = append(ts.useList[u.id], use{node: i, slot: u.slot})
 		}
 		if t.PreventTransitive {
-			r := bitset.New(int(n))
+			r := reach[i] // pooled, empty, capacity n
 			r.Set(int(i))
-			reach[i] = r
 			// "if (bit to_b in bitmap_for_a is set) return;
 			//  bitmap_for_a = bitmap_for_a OR bitmap_for_b; add_arc".
 			// Arcs must be tried nearest child first: since every path

@@ -1,0 +1,315 @@
+// Package engine is the batch scheduling engine: it fans the basic
+// blocks of a compilation unit across a pool of workers, each owning
+// the full set of reusable scratch structures — a resource.Table, a
+// dag.BuildArena, a heur.Annot, a sched.Scratch and a pooled winnowing
+// selector — so the steady-state per-block pipeline (prepare → build →
+// heuristics → schedule) performs no allocations once every buffer has
+// grown to the stream's largest block.
+//
+// Work distribution is an atomic index counter; each result is written
+// to its block's slot, so the output is byte-identical to a serial run
+// of the same pipeline regardless of worker count or interleaving.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"daginsched/internal/block"
+	"daginsched/internal/buf"
+	"daginsched/internal/dag"
+	"daginsched/internal/heur"
+	"daginsched/internal/machine"
+	"daginsched/internal/pipe"
+	"daginsched/internal/resource"
+	"daginsched/internal/sched"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Model is the target machine. Required.
+	Model *machine.Model
+	// Mem selects the memory-disambiguation model for the per-worker
+	// resource tables. The zero value is resource.MemExprModel.
+	Mem resource.MemModel
+	// Builder selects the construction pipeline: "tableb" (default) is
+	// backward table building with the static heuristics fused into
+	// construction — the paper's third approach; "tablef" is forward
+	// table building with a separate backward heuristic pass.
+	Builder string
+	// KeepOrders retains each block's scheduled order in the result
+	// (copied out of worker scratch into one flat per-batch arena).
+	KeepOrders bool
+	// CollectDAGStats retains per-block dag.Stats.
+	CollectDAGStats bool
+	// Verify re-times every schedule on the pipe scoreboard simulator —
+	// an independent witness that never consults the DAG — and fails
+	// the run on any cycle disagreement.
+	Verify bool
+}
+
+// Stats summarizes one batch run; the JSON form is what cmd/schedbench
+// -parallel writes to BENCH_engine.json.
+type Stats struct {
+	Workers      int     `json:"workers"`
+	Blocks       int     `json:"blocks"`
+	Insts        int64   `json:"insts"`
+	Arcs         int64   `json:"arcs"`
+	TotalCycles  int64   `json:"total_cycles"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	InstsPerSec  float64 `json:"insts_per_sec"`
+	ArcsPerSec   float64 `json:"arcs_per_sec"`
+	P50Micros    float64 `json:"p50_block_micros"`
+	P99Micros    float64 `json:"p99_block_micros"`
+}
+
+// BatchResult is the outcome of one Run, indexed by block position.
+// Its slices are owned by the result and recycled by RunInto.
+type BatchResult struct {
+	// Cycles is each block's schedule completion time.
+	Cycles []int32
+	// Arcs is each block's DAG arc count.
+	Arcs []int32
+	// Orders holds each block's scheduled order (empty unless
+	// Config.KeepOrders); the subslices share one flat arena.
+	Orders [][]int32
+	// DAGStats holds per-block structural statistics (empty unless
+	// Config.CollectDAGStats).
+	DAGStats []dag.Stats
+	// Stats is the run summary.
+	Stats Stats
+
+	orderArena []int32
+	durs       []int64 // per-block wall nanos
+	sorted     []int64 // percentile scratch
+	errs       []error // per-block verify outcome (Verify only)
+}
+
+// worker is one pool member's private scratch: every structure here is
+// recycled block to block and never shared.
+type worker struct {
+	rt    *resource.Table
+	ar    dag.BuildArena
+	a     *heur.Annot
+	obs   heur.FusedBackward
+	bld   dag.ReuseBuilder
+	fused bool
+	sc    sched.Scratch
+	sel   *sched.PooledWinnow
+}
+
+func newWorker(cfg *Config) *worker {
+	w := &worker{
+		rt:  resource.NewTable(cfg.Mem),
+		a:   heur.New(nil, cfg.Model),
+		sel: sched.NewPooledWinnow(sched.Section6Ranked()),
+	}
+	if cfg.Builder == "tablef" {
+		w.bld = dag.TableForward{}
+	} else {
+		w.fused = true
+		w.obs = heur.FusedBackward{A: w.a, ComputeLocals: true}
+		w.bld = dag.TableBackward{Observer: &w.obs}
+	}
+	return w
+}
+
+// schedule runs the full per-block pipeline in worker scratch. The
+// returned Result and DAG are worker-owned and valid only until the
+// worker's next block.
+func (w *worker) schedule(b *block.Block, m *machine.Model) (*sched.Result, *dag.DAG) {
+	w.rt.PrepareBlock(b.Insts)
+	d := w.bld.BuildInto(&w.ar, b, m, w.rt)
+	if !w.fused {
+		w.a.D = d
+		w.a.ComputeBackward()
+		w.a.ComputeLocal()
+	}
+	return w.sc.Forward(d, m, w.a, w.sel), d
+}
+
+// Engine is a reusable batch scheduler. Create one with New, then call
+// Run (or RunInto) any number of times; workers and their scratch
+// arenas persist across runs, which is what makes repeated batches
+// allocation-free in steady state.
+type Engine struct {
+	cfg     Config
+	workers []*worker
+}
+
+// New validates cfg and builds the worker pool.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("engine: Config.Model is required")
+	}
+	switch cfg.Builder {
+	case "":
+		cfg.Builder = "tableb"
+	case "tableb", "tablef":
+	default:
+		return nil, fmt.Errorf("engine: unknown builder %q (want tableb or tablef)", cfg.Builder)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{cfg: cfg, workers: make([]*worker, cfg.Workers)}
+	for i := range e.workers {
+		e.workers[i] = newWorker(&e.cfg)
+	}
+	return e, nil
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return len(e.workers) }
+
+// Run schedules every block and returns a fresh BatchResult.
+func (e *Engine) Run(blocks []*block.Block) (*BatchResult, error) {
+	return e.RunInto(new(BatchResult), blocks)
+}
+
+// RunInto is Run recycling a previous BatchResult's storage.
+func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult, error) {
+	nb := len(blocks)
+	res.Cycles = buf.Int32(res.Cycles, nb)
+	res.Arcs = buf.Int32(res.Arcs, nb)
+	res.durs = buf.Int64(res.durs, nb)
+	if e.cfg.KeepOrders {
+		total := 0
+		for _, b := range blocks {
+			total += b.Len()
+		}
+		res.orderArena = buf.Int32(res.orderArena, total)
+		if cap(res.Orders) < nb {
+			res.Orders = make([][]int32, nb)
+		}
+		res.Orders = res.Orders[:nb]
+		off := 0
+		for i, b := range blocks {
+			res.Orders[i] = res.orderArena[off : off+b.Len()]
+			off += b.Len()
+		}
+	} else {
+		res.Orders = res.Orders[:0]
+	}
+	if e.cfg.CollectDAGStats {
+		if cap(res.DAGStats) < nb {
+			res.DAGStats = make([]dag.Stats, nb)
+		}
+		res.DAGStats = res.DAGStats[:nb]
+		for i := range res.DAGStats {
+			res.DAGStats[i] = dag.Stats{}
+		}
+	} else {
+		res.DAGStats = res.DAGStats[:0]
+	}
+	res.errs = res.errs[:0]
+	if e.cfg.Verify {
+		if cap(res.errs) < nb {
+			res.errs = make([]error, nb)
+		}
+		res.errs = res.errs[:nb]
+		for i := range res.errs {
+			res.errs[i] = nil
+		}
+	}
+
+	start := time.Now()
+	if len(e.workers) == 1 {
+		w := e.workers[0]
+		for i := range blocks {
+			e.process(w, res, blocks, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for _, w := range e.workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(blocks) {
+						return
+					}
+					e.process(w, res, blocks, i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	wall := time.Since(start)
+
+	st := &res.Stats
+	*st = Stats{Workers: len(e.workers), Blocks: nb, WallSeconds: wall.Seconds()}
+	for _, b := range blocks {
+		st.Insts += int64(b.Len())
+	}
+	for i := 0; i < nb; i++ {
+		st.Arcs += int64(res.Arcs[i])
+		st.TotalCycles += int64(res.Cycles[i])
+	}
+	if s := wall.Seconds(); s > 0 {
+		st.BlocksPerSec = float64(nb) / s
+		st.InstsPerSec = float64(st.Insts) / s
+		st.ArcsPerSec = float64(st.Arcs) / s
+	}
+	if nb > 0 {
+		res.sorted = buf.Int64(res.sorted, nb)
+		copy(res.sorted, res.durs)
+		slices.Sort(res.sorted)
+		st.P50Micros = float64(res.sorted[(nb-1)*50/100]) / 1e3
+		st.P99Micros = float64(res.sorted[(nb-1)*99/100]) / 1e3
+	}
+
+	for i, err := range res.errs {
+		if err != nil {
+			return res, fmt.Errorf("engine: block %d (%s): %w", i, blocks[i].Name, err)
+		}
+	}
+	return res, nil
+}
+
+// process runs block i in worker w's scratch and writes its slot of
+// the batch result. Slots are disjoint per block, so no locking.
+func (e *Engine) process(w *worker, res *BatchResult, blocks []*block.Block, i int) {
+	b := blocks[i]
+	t0 := time.Now()
+	r, d := w.schedule(b, e.cfg.Model)
+	res.durs[i] = int64(time.Since(t0))
+	res.Cycles[i] = r.Cycles
+	res.Arcs[i] = int32(d.NumArcs)
+	if res.Orders != nil {
+		copy(res.Orders[i], r.Order)
+	}
+	if res.DAGStats != nil {
+		res.DAGStats[i] = d.Statistics()
+	}
+	if e.cfg.Verify {
+		res.errs[i] = verify(b, r, e.cfg.Model, w.rt)
+	}
+}
+
+// verify re-times the schedule on the scoreboard simulator, which
+// derives timing from raw def/use information rather than DAG arcs,
+// and demands cycle-exact agreement. The worker's resource table is
+// still prepared for b when this runs.
+func verify(b *block.Block, r *sched.Result, m *machine.Model, rt *resource.Table) error {
+	sim := pipe.Simulate(b.Insts, r.Order, m, rt)
+	if sim.Cycles != r.Cycles {
+		return fmt.Errorf("simulator completes in %d cycles, schedule claims %d", sim.Cycles, r.Cycles)
+	}
+	for pos, node := range r.Order {
+		if sim.Issue[pos] != r.Issue[node] {
+			return fmt.Errorf("position %d (node %d): simulator issues at %d, schedule at %d",
+				pos, node, sim.Issue[pos], r.Issue[node])
+		}
+	}
+	return nil
+}

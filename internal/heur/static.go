@@ -1,6 +1,7 @@
 package heur
 
 import (
+	"daginsched/internal/buf"
 	"daginsched/internal/dag"
 	"daginsched/internal/isa"
 	"daginsched/internal/machine"
@@ -9,6 +10,11 @@ import (
 // Annot holds the static heuristic annotations of one DAG. Slices are
 // nil until the corresponding Compute method runs; they are indexed by
 // node. All values follow the definitions in Section 3 of the paper.
+//
+// An Annot may be reused across blocks: point D at the new DAG and
+// rerun the Compute methods — each pass recycles its slices' capacity,
+// so a per-worker Annot annotating a stream of same-scale blocks
+// performs no steady-state allocations.
 type Annot struct {
 	D *dag.DAG
 	M *machine.Model
@@ -62,12 +68,12 @@ func (a *Annot) ComputeAll() *Annot {
 // the final arc lists is equivalent and keeps the builders lean.
 func (a *Annot) ComputeLocal() {
 	n := a.D.Len()
-	a.ExecTime = make([]int32, n)
-	a.InterlockChild = make([]bool, n)
-	a.SumDelayChild = make([]int32, n)
-	a.MaxDelayChild = make([]int32, n)
-	a.SumDelayParent = make([]int32, n)
-	a.MaxDelayParent = make([]int32, n)
+	a.ExecTime = buf.Int32(a.ExecTime, n)
+	a.InterlockChild = buf.Bool(a.InterlockChild, n)
+	a.SumDelayChild = buf.Int32(a.SumDelayChild, n)
+	a.MaxDelayChild = buf.Int32(a.MaxDelayChild, n)
+	a.SumDelayParent = buf.Int32(a.SumDelayParent, n)
+	a.MaxDelayParent = buf.Int32(a.MaxDelayParent, n)
 	for i := 0; i < n; i++ {
 		node := &a.D.Nodes[i]
 		a.ExecTime[i] = int32(a.M.Latency(node.Inst.Op))
@@ -94,9 +100,9 @@ func (a *Annot) ComputeLocal() {
 // every DAG this package sees (builders emit forward arcs only).
 func (a *Annot) ComputeForward() {
 	n := a.D.Len()
-	a.EST = make([]int32, n)
-	a.MaxPathFromRoot = make([]int32, n)
-	a.MaxDelayFromRoot = make([]int32, n)
+	a.EST = buf.Int32(a.EST, n)
+	a.MaxPathFromRoot = buf.Int32(a.MaxPathFromRoot, n)
+	a.MaxDelayFromRoot = buf.Int32(a.MaxDelayFromRoot, n)
 	for i := 0; i < n; i++ {
 		node := &a.D.Nodes[i]
 		for _, arc := range node.Preds {
@@ -123,8 +129,8 @@ func (a *Annot) ComputeForward() {
 // original instructions in the basic block, produces the same result").
 func (a *Annot) ComputeBackward() {
 	n := a.D.Len()
-	a.MaxPathToLeaf = make([]int32, n)
-	a.MaxDelayToLeaf = make([]int32, n)
+	a.MaxPathToLeaf = buf.Int32(a.MaxPathToLeaf, n)
+	a.MaxDelayToLeaf = buf.Int32(a.MaxDelayToLeaf, n)
 	for i := n - 1; i >= 0; i-- {
 		a.backwardNode(int32(i))
 	}
@@ -154,8 +160,8 @@ func (a *Annot) ComputeCritical() {
 		a.ComputeForward()
 	}
 	n := a.D.Len()
-	a.LST = make([]int32, n)
-	a.Slack = make([]int32, n)
+	a.LST = buf.Int32(a.LST, n)
+	a.Slack = buf.Int32(a.Slack, n)
 	if n == 0 {
 		return
 	}
@@ -185,8 +191,8 @@ func (a *Annot) ComputeCritical() {
 // reachability bit map ... minus one").
 func (a *Annot) ComputeDescendants() {
 	n := a.D.Len()
-	a.NumDesc = make([]int32, n)
-	a.SumExecDesc = make([]int32, n)
+	a.NumDesc = buf.Int32(a.NumDesc, n)
+	a.SumExecDesc = buf.Int32(a.SumExecDesc, n)
 	if a.ExecTime == nil {
 		a.ComputeLocal()
 	}
@@ -208,9 +214,9 @@ func (a *Annot) ComputeDescendants() {
 // pressure effect, simplified to born − killed.
 func (a *Annot) ComputeRegisterUsage() {
 	n := a.D.Len()
-	a.RegsBorn = make([]int32, n)
-	a.RegsKilled = make([]int32, n)
-	a.Liveness = make([]int32, n)
+	a.RegsBorn = buf.Int32(a.RegsBorn, n)
+	a.RegsKilled = buf.Int32(a.RegsKilled, n)
+	a.Liveness = buf.Int32(a.Liveness, n)
 	// Walk backward tracking, per register, whether the value current at
 	// each point is read by some later instruction.
 	var readLater [64]bool // integer + FP registers
@@ -264,13 +270,13 @@ type FusedBackward struct {
 func (f *FusedBackward) Start(d *dag.DAG) {
 	n := d.Len()
 	f.A.D = d
-	f.A.MaxPathToLeaf = make([]int32, n)
-	f.A.MaxDelayToLeaf = make([]int32, n)
+	f.A.MaxPathToLeaf = buf.Int32(f.A.MaxPathToLeaf, n)
+	f.A.MaxDelayToLeaf = buf.Int32(f.A.MaxDelayToLeaf, n)
 	if f.ComputeLocals {
-		f.A.ExecTime = make([]int32, n)
-		f.A.InterlockChild = make([]bool, n)
-		f.A.SumDelayChild = make([]int32, n)
-		f.A.MaxDelayChild = make([]int32, n)
+		f.A.ExecTime = buf.Int32(f.A.ExecTime, n)
+		f.A.InterlockChild = buf.Bool(f.A.InterlockChild, n)
+		f.A.SumDelayChild = buf.Int32(f.A.SumDelayChild, n)
+		f.A.MaxDelayChild = buf.Int32(f.A.MaxDelayChild, n)
 	}
 }
 

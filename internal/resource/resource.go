@@ -110,23 +110,50 @@ func ClassOf(m isa.MemExpr) StorageClass {
 	return HeapClass
 }
 
+// memKey is the comparable interning key of a symbolic memory
+// expression. Using a struct key instead of MemExpr.Key()'s formatted
+// string keeps the per-reference map lookups in the DAG-construction
+// hot path allocation-free (the Sym field aliases the instruction's
+// existing string; nothing is built per lookup).
+type memKey struct {
+	sym         string
+	base, index isa.Reg
+	offset      int32
+}
+
+func keyOf(m isa.MemExpr) memKey {
+	return memKey{sym: m.Sym, base: m.Base, index: m.Index, offset: m.Offset}
+}
+
 // Table interns the resources of one basic block. Create it once with
 // NewTable and call PrepareBlock before constructing each block's DAG;
 // interning state (and therefore the resource count) is per block.
+//
+// A Table is NOT safe for concurrent use: the parallel batch engine
+// gives every worker its own Table.
 type Table struct {
 	model MemModel
 
-	memIDs    map[string]ID
+	memIDs    map[memKey]ID
 	next      ID
 	dirty     [numStorageClasses]bool // class cannot be disambiguated
 	wildcard  [numStorageClasses]ID   // lazily allocated per-class serializer
 	singleID  ID                      // lazily allocated MemSingleModel resource
 	uniqueMax int                     // distinct expressions seen in PrepareBlock
+
+	// Reused PrepareBlock scratch: both survive across blocks so the
+	// steady-state prescan performs no allocations.
+	seen   map[memKey]bool
+	defbuf []isa.ResRef
 }
 
 // NewTable returns a table using the given memory model.
 func NewTable(model MemModel) *Table {
-	t := &Table{model: model, memIDs: make(map[string]ID)}
+	t := &Table{
+		model:  model,
+		memIDs: make(map[memKey]ID),
+		seen:   make(map[memKey]bool),
+	}
 	t.reset()
 	return t
 }
@@ -155,24 +182,23 @@ func (t *Table) reset() {
 func (t *Table) PrepareBlock(insts []isa.Inst) {
 	t.reset()
 	var defined [NumFixed]bool
-	var defs []isa.ResRef
 	for i := range insts {
-		defs = insts[i].AppendDefs(defs[:0])
-		for _, d := range defs {
+		t.defbuf = insts[i].AppendDefs(t.defbuf[:0])
+		for _, d := range t.defbuf {
 			if d.Kind == isa.RReg || d.Kind == isa.RFReg {
 				defined[d.Reg] = true
 			}
 		}
 	}
-	seen := make(map[string]bool)
+	clear(t.seen)
 	for i := range insts {
 		op := insts[i].Op
 		if !op.IsLoad() && !op.IsStore() {
 			continue
 		}
 		m := insts[i].Mem
-		if k := m.Key(); !seen[k] {
-			seen[k] = true
+		if k := keyOf(m); !t.seen[k] {
+			t.seen[k] = true
 		}
 		c := ClassOf(m)
 		switch {
@@ -184,7 +210,7 @@ func (t *Table) PrepareBlock(insts []isa.Inst) {
 			t.dirty[c] = true
 		}
 	}
-	t.uniqueMax = len(seen)
+	t.uniqueMax = len(t.seen)
 }
 
 // UniqueMemExprs returns the number of distinct symbolic memory
@@ -218,7 +244,7 @@ func (t *Table) MemID(m isa.MemExpr) ID {
 	// same aligned word must share a resource to stay sound.
 	canon := m
 	canon.Offset &^= 3
-	k := canon.Key()
+	k := keyOf(canon)
 	if id, ok := t.memIDs[k]; ok {
 		return id
 	}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"daginsched/internal/buf"
 	"daginsched/internal/dag"
 	"daginsched/internal/heur"
 	"daginsched/internal/machine"
@@ -19,15 +20,23 @@ import (
 // glued after it by the same mechanism.
 func Forward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Selector) *Result {
 	s := newState(d, m, a)
+	forwardLoop(s, sel, pinnedTail(d), make([]int32, 0, 16), nil)
+	return s.result()
+}
+
+// forwardLoop is the forward list-scheduling core shared by Forward
+// and Scratch.Forward. It schedules every node of s.D, drawing the
+// candidate list and the pinned-tail hold list from the caller-
+// provided buffers, and returns them (possibly regrown) so reusable
+// callers can retain the capacity.
+func forwardLoop(s *State, sel Selector, forcedLast []bool, cands, held []int32) ([]int32, []int32) {
+	d := s.D
 	n := int32(d.Len())
-	forcedLast := pinnedTail(d)
 
 	// The candidate list is maintained incrementally: a node enters when
 	// its last unscheduled parent is placed. Rebuilding it per step
 	// would make the scheduling pass quadratic in block size, which the
 	// fpppp-sized blocks of Section 6 cannot afford.
-	cands := make([]int32, 0, 16)
-	var held []int32 // pinned-tail nodes whose parents are scheduled
 	admit := func(i int32) {
 		if forcedLast[i] {
 			held = append(held, i)
@@ -60,17 +69,52 @@ func Forward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Selector) *Result 
 			}
 		}
 	}
-	return s.result()
+	return cands, held
 }
 
 // pinnedTail marks the block-terminating CTI so it schedules last. Any
 // trailing CTI in the block is pinned; everything else floats.
 func pinnedTail(d *dag.DAG) []bool {
-	pinned := make([]bool, d.Len())
+	return pinnedTailInto(make([]bool, d.Len()), d)
+}
+
+// pinnedTailInto is pinnedTail over a caller-provided (already
+// false-filled) buffer of length d.Len().
+func pinnedTailInto(pinned []bool, d *dag.DAG) []bool {
 	if n := d.Len(); n > 0 && d.Nodes[n-1].Inst.Op.IsCTI() {
 		pinned[n-1] = true
 	}
 	return pinned
+}
+
+// Scratch holds reusable scheduling state for the batch engine's hot
+// path. Scratch.Forward is Forward with every piece of working storage
+// — the State's slices, the candidate lists, the pinned-tail marks and
+// the Result itself — recycled across calls, so scheduling a stream of
+// same-scale blocks performs no steady-state allocations.
+//
+// The returned Result is owned by the Scratch and is invalidated by
+// the next Forward call (its Order and Issue slices are the recycled
+// state). Callers that keep schedules must copy them out. A Scratch is
+// not safe for concurrent use; the engine gives each worker its own.
+type Scratch struct {
+	state       State
+	cands, held []int32
+	forced      []bool
+	res         Result
+}
+
+// Forward is the reuse-aware equivalent of the package-level Forward.
+func (sc *Scratch) Forward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Selector) *Result {
+	s := &sc.state
+	s.reset(d, m, a)
+	sc.forced = pinnedTailInto(buf.Bool(sc.forced, d.Len()), d)
+	if sc.cands == nil {
+		sc.cands = make([]int32, 0, 16)
+	}
+	sc.cands, sc.held = forwardLoop(s, sel, sc.forced, sc.cands[:0], sc.held[:0])
+	s.finish(&sc.res)
+	return &sc.res
 }
 
 // place issues node pick at the earliest legal cycle and updates every
@@ -116,9 +160,17 @@ func (s *State) place(pick int32) {
 	}
 }
 
-// result finalizes the schedule.
+// result finalizes the schedule into a fresh Result.
 func (s *State) result() *Result {
-	r := &Result{Order: s.order, Issue: s.issue}
+	r := new(Result)
+	s.finish(r)
+	return r
+}
+
+// finish fills r with the completed schedule. Order and Issue alias
+// the state's slices, so r is only valid until the state's next reset.
+func (s *State) finish(r *Result) {
+	r.Order, r.Issue, r.Cycles = s.order, s.issue, 0
 	for i, in := range s.D.Nodes {
 		if s.issue[i] < 0 {
 			continue
@@ -127,7 +179,6 @@ func (s *State) result() *Result {
 			r.Cycles = fin
 		}
 	}
-	return r
 }
 
 // Backward runs a backward list-scheduling pass (Tiemann, Schlansker):

@@ -107,9 +107,17 @@ func (w Winnow) Keys() []RankedKey { return w }
 // winnowed through private double buffers, so callers may maintain
 // cands incrementally across picks.
 func (w Winnow) Pick(s *State, cands []int32) int32 {
-	live := cands
 	var bufs [2][]int32
-	for ki, rk := range w {
+	return winnowPick(s, w, cands, &bufs)
+}
+
+// winnowPick is the winnowing core shared by Winnow (fresh buffers per
+// pick) and PooledWinnow (persistent buffers). bufs holds the two
+// survivor double buffers; their grown capacity is retained via the
+// pointer so pooled callers allocate nothing in steady state.
+func winnowPick(s *State, ranked []RankedKey, cands []int32, bufs *[2][]int32) int32 {
+	live := cands
+	for ki, rk := range ranked {
 		if len(live) == 1 {
 			break
 		}
@@ -129,6 +137,39 @@ func (w Winnow) Pick(s *State, cands []int32) int32 {
 		live = dst
 	}
 	return minIndex(live)
+}
+
+// PooledWinnow is Winnow with persistent survivor buffers: picks are
+// identical, but the double buffers grow once to the largest candidate
+// list and are then recycled, keeping the batch engine's selection loop
+// allocation-free. Not safe for concurrent use — one per worker.
+type PooledWinnow struct {
+	ranked []RankedKey
+	bufs   [2][]int32
+}
+
+// NewPooledWinnow returns a pooled selector over the given ranked keys.
+func NewPooledWinnow(ranked []RankedKey) *PooledWinnow {
+	return &PooledWinnow{ranked: ranked}
+}
+
+// Keys implements Selector.
+func (p *PooledWinnow) Keys() []RankedKey { return p.ranked }
+
+// Pick implements Selector.
+func (p *PooledWinnow) Pick(s *State, cands []int32) int32 {
+	return winnowPick(s, p.ranked, cands, &p.bufs)
+}
+
+// Section6Ranked returns the heuristic ranking of the paper's Section 6
+// timing study: maximum path length to a leaf, then maximum delay to a
+// leaf, then total delays to children.
+func Section6Ranked() []RankedKey {
+	return []RankedKey{
+		{Key: heur.MaxPathToLeaf},
+		{Key: heur.MaxDelayToLeaf},
+		{Key: heur.DelaysToChildren},
+	}
 }
 
 // Priority combines its ranked heuristics "into a single priority value

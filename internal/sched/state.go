@@ -11,6 +11,7 @@
 package sched
 
 import (
+	"daginsched/internal/buf"
 	"daginsched/internal/dag"
 	"daginsched/internal/heur"
 	"daginsched/internal/isa"
@@ -70,29 +71,44 @@ type State struct {
 }
 
 func newState(d *dag.DAG, m *machine.Model, a *heur.Annot) *State {
+	s := &State{}
+	s.reset(d, m, a)
+	return s
+}
+
+// reset readies s for a fresh scheduling pass over d, recycling every
+// slice's capacity. A per-worker State reset per block is what keeps
+// the batch engine's steady-state scheduling path allocation-free.
+func (s *State) reset(d *dag.DAG, m *machine.Model, a *heur.Annot) {
 	n := d.Len()
-	s := &State{
-		D: d, M: m, A: a,
-		eet:            make([]int32, n),
-		unschedParents: make([]int32, n),
-		unschedKids:    make([]int32, n),
-		scheduled:      make([]bool, n),
-		issue:          make([]int32, n),
-		order:          make([]int32, 0, n),
-		last:           -1,
-		unitBusy:       make([][]int32, isa.NumClasses),
+	s.D, s.M, s.A = d, m, a
+	s.eet = buf.Int32(s.eet, n)
+	s.unschedParents = buf.Int32(s.unschedParents, n)
+	s.unschedKids = buf.Int32(s.unschedKids, n)
+	s.scheduled = buf.Bool(s.scheduled, n)
+	s.issue = buf.Int32(s.issue, n)
+	if cap(s.order) < n {
+		s.order = make([]int32, 0, n)
+	} else {
+		s.order = s.order[:0]
 	}
+	s.last = -1
+	s.time, s.usedSlots, s.usedGroups = 0, 0, 0
 	for i := 0; i < n; i++ {
 		s.unschedParents[i] = int32(len(d.Nodes[i].Preds))
 		s.unschedKids[i] = int32(len(d.Nodes[i].Succs))
 		s.issue[i] = -1
 	}
+	if s.unitBusy == nil {
+		s.unitBusy = make([][]int32, isa.NumClasses)
+	}
 	for c := 0; c < isa.NumClasses; c++ {
 		if k := m.Units[c]; k > 0 {
-			s.unitBusy[c] = make([]int32, k)
+			s.unitBusy[c] = buf.Int32(s.unitBusy[c], k)
+		} else {
+			s.unitBusy[c] = s.unitBusy[c][:0]
 		}
 	}
-	return s
 }
 
 // Time returns the current issue cycle.

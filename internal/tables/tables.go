@@ -46,11 +46,7 @@ func Approaches() []Approach {
 
 // section6Selector is the Section 6 scheduling pass's heuristic order.
 func section6Selector() sched.Selector {
-	return sched.Winnow([]sched.RankedKey{
-		{Key: heur.MaxPathToLeaf},
-		{Key: heur.MaxDelayToLeaf},
-		{Key: heur.DelaysToChildren},
-	})
+	return sched.Winnow(sched.Section6Ranked())
 }
 
 // RunStats is one Table 4 / Table 5 row.

@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI gate: vet, build, the full test suite under the race detector
+# (which exercises the batch engine's 8-worker determinism test for
+# data races between worker arenas), and a one-iteration engine
+# benchmark smoke run that checks the zero-allocation steady state.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== engine bench smoke"
+go test -run '^$' -bench Engine -benchmem -benchtime 1x .
