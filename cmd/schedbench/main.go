@@ -8,7 +8,8 @@
 //	schedbench [-table3] [-table4] [-table5] [-fig1] [-all]
 //	           [-model pipe1|fpu|asym|super2] [-runs 5] [-bench name]
 //	schedbench -parallel [-workers N] [-builder tableb|tablef]
-//	           [-verify] [-json BENCH_engine.json]
+//	           [-verify] [-csr=bool] [-cache=bool]
+//	           [-json BENCH_engine.json]
 //
 // With no table flags, -all is assumed. As in the paper, Table 4 stops
 // at fpppp-1000: the n² approach's "excessive time and space
@@ -54,6 +55,8 @@ func main() {
 		workers = flag.Int("workers", 0, "engine worker-pool size for -parallel (0 = GOMAXPROCS)")
 		builder = flag.String("builder", "tableb", "engine construction pipeline for -parallel (tableb, tablef)")
 		verify  = flag.Bool("verify", false, "cross-check every engine schedule on the scoreboard simulator")
+		csr     = flag.Bool("csr", true, "use the frozen flat-adjacency (CSR) hot path for -parallel")
+		cache   = flag.Bool("cache", true, "enable the block-fingerprint schedule cache for -parallel")
 		jsonOut = flag.String("json", "BENCH_engine.json", "file for -parallel engine statistics JSON")
 	)
 	flag.Parse()
@@ -145,7 +148,7 @@ func main() {
 		fmt.Println(tables.WinnersBySize(wsets, m))
 	}
 	if *par {
-		if err := runParallel(sets, m, *model, *workers, *builder, *verify, *jsonOut); err != nil {
+		if err := runParallel(sets, m, *model, *workers, *builder, *verify, *csr, *cache, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "schedbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -153,11 +156,19 @@ func main() {
 }
 
 // engineReport is one benchmark's serial-vs-parallel engine comparison.
+// Serial and Parallel are the steady-state (second-pass) runs, so with
+// the cache enabled they see a warm cache; the Delta fields record how
+// much the warm pass improved on the cold first pass of the parallel
+// engine (positive = warm is faster), and HitRate is the warm parallel
+// pass's cache hit rate.
 type engineReport struct {
-	Name     string       `json:"name"`
-	Serial   engine.Stats `json:"serial"`
-	Parallel engine.Stats `json:"parallel"`
-	Speedup  float64      `json:"speedup"`
+	Name           string       `json:"name"`
+	Serial         engine.Stats `json:"serial"`
+	Parallel       engine.Stats `json:"parallel"`
+	Speedup        float64      `json:"speedup"`
+	HitRate        float64      `json:"hit_rate"`
+	DeltaP50Micros float64      `json:"delta_p50_micros"`
+	DeltaP99Micros float64      `json:"delta_p99_micros"`
 }
 
 // engineFile is the BENCH_engine.json document.
@@ -165,6 +176,8 @@ type engineFile struct {
 	Model      string         `json:"model"`
 	Builder    string         `json:"builder"`
 	Workers    int            `json:"workers"`
+	CSR        bool           `json:"csr"`
+	Cache      bool           `json:"cache"`
 	Benchmarks []engineReport `json:"benchmarks"`
 }
 
@@ -172,10 +185,11 @@ type engineFile struct {
 // single-worker run against a warmed N-worker run, printed as a table
 // and written as JSON. Speedup is hardware-dependent — it tracks the
 // machine's physical core count, not the configured worker count.
-func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string, workers int, builder string, verify bool, jsonPath string) error {
+func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string, workers int, builder string, verify, csr, cache bool, jsonPath string) error {
 	mk := func(w int) (*engine.Engine, error) {
 		return engine.New(engine.Config{
 			Workers: w, Model: m, Builder: builder, Verify: verify,
+			DisableCSR: !csr, Cache: cache,
 		})
 	}
 	serial, err := mk(1)
@@ -187,37 +201,49 @@ func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string,
 		return err
 	}
 
-	fmt.Printf("Parallel batch engine: builder %s, %d workers, model %s\n\n",
-		builder, parallel.Workers(), modelName)
-	fmt.Printf("%-12s %8s %8s %14s %14s %8s %9s %9s\n",
+	fmt.Printf("Parallel batch engine: builder %s, %d workers, model %s, csr %v, cache %v\n\n",
+		builder, parallel.Workers(), modelName, csr, cache)
+	fmt.Printf("%-12s %8s %8s %14s %14s %8s %9s %9s %7s\n",
 		"benchmark", "#blocks", "#insts", "serial blk/s", "parallel blk/s",
-		"speedup", "p50(us)", "p99(us)")
-	fmt.Println(strings.Repeat("-", 90))
+		"speedup", "p50(us)", "p99(us)", "hit%")
+	fmt.Println(strings.Repeat("-", 98))
 
-	doc := engineFile{Model: modelName, Builder: builder, Workers: parallel.Workers()}
+	doc := engineFile{Model: modelName, Builder: builder, Workers: parallel.Workers(), CSR: csr, Cache: cache}
 	for _, set := range sets {
-		// Two runs per engine: the first grows every worker arena, the
-		// second measures the steady state.
+		// Two runs per engine: the first grows every worker arena (and,
+		// with the cache on, fills it), the second measures the steady
+		// state. The parallel engine's cold pass is kept so the report
+		// can state the cold→warm p50/p99 deltas.
+		var cold engine.Stats
 		stats := make([]engine.Stats, 2)
 		for i, e := range []*engine.Engine{serial, parallel} {
 			res := new(engine.BatchResult)
 			if _, err := e.RunInto(res, set.Blocks); err != nil {
 				return fmt.Errorf("%s: %w", set.Name, err)
 			}
+			if i == 1 {
+				cold = res.Stats
+			}
 			if _, err := e.RunInto(res, set.Blocks); err != nil {
 				return fmt.Errorf("%s: %w", set.Name, err)
 			}
 			stats[i] = res.Stats
 		}
-		rep := engineReport{Name: set.Name, Serial: stats[0], Parallel: stats[1]}
+		rep := engineReport{
+			Name: set.Name, Serial: stats[0], Parallel: stats[1],
+			HitRate:        stats[1].CacheHitRate,
+			DeltaP50Micros: cold.P50Micros - stats[1].P50Micros,
+			DeltaP99Micros: cold.P99Micros - stats[1].P99Micros,
+		}
 		if stats[1].WallSeconds > 0 {
 			rep.Speedup = stats[0].WallSeconds / stats[1].WallSeconds
 		}
 		doc.Benchmarks = append(doc.Benchmarks, rep)
-		fmt.Printf("%-12s %8d %8d %14.0f %14.0f %7.2fx %9.1f %9.1f\n",
+		fmt.Printf("%-12s %8d %8d %14.0f %14.0f %7.2fx %9.1f %9.1f %6.1f%%\n",
 			set.Name, rep.Parallel.Blocks, rep.Parallel.Insts,
 			rep.Serial.BlocksPerSec, rep.Parallel.BlocksPerSec,
-			rep.Speedup, rep.Parallel.P50Micros, rep.Parallel.P99Micros)
+			rep.Speedup, rep.Parallel.P50Micros, rep.Parallel.P99Micros,
+			rep.HitRate*100)
 	}
 
 	data, err := json.MarshalIndent(&doc, "", "  ")

@@ -252,3 +252,56 @@ func writeInt(b *strings.Builder, i int) {
 	}
 	b.WriteByte(byte('0' + i%10))
 }
+
+// Slab carves many fixed-capacity sets out of one contiguous word
+// arena. Per-node reachability maps carved from a slab occupy adjacent
+// cache lines in node order, so the word-parallel OR loops of the
+// transitive-arc-refusing DAG builder stream through one flat array
+// instead of chasing per-set heap allocations. The slab recycles its
+// arena across Carve calls; a carved set is valid until the next Carve.
+//
+// Carved sets must not outgrow their carved bit capacity: Set/Or past
+// it would reallocate the set's words out of the slab (correct, but
+// silently losing the flat layout). The DAG builder never does — every
+// reachability map is sized to the block's node count up front.
+//
+// The zero value is ready to use.
+type Slab struct {
+	words []uint64
+	sets  []Set
+	ptrs  []*Set
+}
+
+// Carve returns n empty sets, each with capacity for bits bits, all
+// backed by one contiguous zeroed arena. The returned slice and the
+// sets it points to are owned by the slab and invalidated by the next
+// Carve.
+func (sl *Slab) Carve(n, bits int) []*Set {
+	if n == 0 {
+		return nil
+	}
+	stride := (bits + wordBits - 1) / wordBits
+	total := n * stride
+	if cap(sl.words) < total {
+		sl.words = make([]uint64, total)
+	} else {
+		sl.words = sl.words[:total]
+		for i := range sl.words {
+			sl.words[i] = 0
+		}
+	}
+	if cap(sl.sets) < n {
+		sl.sets = make([]Set, n)
+		sl.ptrs = make([]*Set, n)
+	}
+	sl.sets = sl.sets[:n]
+	sl.ptrs = sl.ptrs[:n]
+	for i := 0; i < n; i++ {
+		// The three-index slice caps each set at its stride so a
+		// mistaken overgrow reallocates instead of clobbering its
+		// neighbor.
+		sl.sets[i].words = sl.words[i*stride : (i+1)*stride : (i+1)*stride]
+		sl.ptrs[i] = &sl.sets[i]
+	}
+	return sl.ptrs
+}

@@ -28,11 +28,13 @@ type BuildArena struct {
 	ts tableState
 	ad arcDeduper
 
-	// reach pools the per-node reachability sets handed to DAGs built
-	// with TableBackward{PreventTransitive: true}. The slice header
-	// published on DAG.Reach is carved per block; the sets themselves
-	// are recycled.
-	reach []*bitset.Set
+	// reach is the flat slab backing the per-node reachability maps
+	// handed to DAGs built with TableBackward{PreventTransitive: true}.
+	// All of a block's maps live in one contiguous word arena (node i's
+	// map at stride i), so the builder's insertion-time word-parallel
+	// OR loops stream through adjacent memory instead of chasing
+	// per-set heap pointers. The arena is recycled across blocks.
+	reach bitset.Slab
 }
 
 // ResetFor recycles the arena's DAG storage for block b: the node
@@ -46,6 +48,9 @@ func (ar *BuildArena) ResetFor(b *block.Block, builder string) *DAG {
 	d.Builder = builder
 	d.NumArcs = 0
 	d.Reach = nil
+	// Drop the previous block's frozen CSR view; its arrays are kept
+	// and refilled by the next Freeze.
+	d.csr.frozen = false
 	n := len(b.Insts)
 	if cap(d.Nodes) >= n {
 		d.Nodes = d.Nodes[:n]
@@ -66,28 +71,15 @@ func (ar *BuildArena) ResetFor(b *block.Block, builder string) *DAG {
 	return d
 }
 
-// reachSets returns n pooled, emptied reachability sets (each with its
-// own storage recycled across blocks). Index i's set has bit capacity
-// for n nodes but starts empty; the transitive-arc-refusing builder
-// fills them as it finalizes nodes.
+// reachSets returns n emptied reachability sets carved from the
+// arena's flat slab: index i's set has bit capacity for n nodes and
+// sits at word stride i of one contiguous array, which is what makes
+// the builder's reachability ORs word-parallel over flat memory.
 func (ar *BuildArena) reachSets(n int) []*bitset.Set {
 	if n == 0 {
 		return nil // match a cold build: no maps for an empty block
 	}
-	if cap(ar.reach) < n {
-		grown := make([]*bitset.Set, n)
-		copy(grown, ar.reach[:cap(ar.reach)])
-		ar.reach = grown
-	}
-	ar.reach = ar.reach[:n]
-	for i := range ar.reach {
-		if ar.reach[i] == nil {
-			ar.reach[i] = bitset.New(n)
-		} else {
-			ar.reach[i].Reuse(n)
-		}
-	}
-	return ar.reach
+	return ar.reach.Carve(n, n)
 }
 
 // ReuseBuilder is implemented by construction algorithms that support

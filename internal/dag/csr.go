@@ -1,0 +1,111 @@
+package dag
+
+import "daginsched/internal/buf"
+
+// CSR is the frozen compressed-sparse-row view of a built DAG: every
+// successor arc in one flat array grouped by source node, every
+// predecessor arc in a second flat array grouped by target node, with
+// n+1 offset arrays delimiting each node's span. The per-node spans
+// preserve the mirror slices' insertion order exactly, so any consumer
+// that walks Succs/Preds produces bit-identical results walking the
+// CSR view — only the memory layout changes: the hot heuristic and
+// ready-list loops touch two contiguous arrays instead of chasing n
+// scattered slice headers.
+//
+// A CSR is built once per DAG by Freeze after construction completes
+// and is immutable from then on (the same contract as the DAG itself).
+// Its storage lives inside the DAG value, so arena-recycled DAGs
+// recycle the CSR arrays too: ResetFor drops the frozen view and the
+// next Freeze refills the same backing arrays.
+type CSR struct {
+	succArcs []Arc
+	predArcs []Arc
+	succOff  []int32 // len n+1; succArcs[succOff[i]:succOff[i+1]] = node i's Succs
+	predOff  []int32 // len n+1; predArcs[predOff[i]:predOff[i+1]] = node i's Preds
+	frozen   bool
+}
+
+// Succs returns node i's successor arcs, in the same order as
+// Nodes[i].Succs.
+func (c *CSR) Succs(i int32) []Arc {
+	return c.succArcs[c.succOff[i]:c.succOff[i+1]]
+}
+
+// Preds returns node i's predecessor arcs, in the same order as
+// Nodes[i].Preds.
+func (c *CSR) Preds(i int32) []Arc {
+	return c.predArcs[c.predOff[i]:c.predOff[i+1]]
+}
+
+// NumSuccs returns node i's successor count without touching the arc
+// array.
+func (c *CSR) NumSuccs(i int32) int32 { return c.succOff[i+1] - c.succOff[i] }
+
+// NumPreds returns node i's predecessor count without touching the arc
+// array.
+func (c *CSR) NumPreds(i int32) int32 { return c.predOff[i+1] - c.predOff[i] }
+
+// SuccSpan returns the half-open [lo, hi) range of node i's successors
+// inside SuccArcs, for callers that walk the flat array directly.
+func (c *CSR) SuccSpan(i int32) (lo, hi int32) { return c.succOff[i], c.succOff[i+1] }
+
+// SuccArcs returns the whole flat successor-arc array (all arcs,
+// grouped by From in ascending node order). A reverse topological
+// heuristic pass is a single backward walk over this array.
+func (c *CSR) SuccArcs() []Arc { return c.succArcs }
+
+// PredArcs returns the whole flat predecessor-arc array (all arcs,
+// grouped by To in ascending node order).
+func (c *CSR) PredArcs() []Arc { return c.predArcs }
+
+// growArcs returns an empty []Arc with capacity for at least n arcs,
+// reusing s's backing array when possible.
+func growArcs(s []Arc, n int) []Arc {
+	if cap(s) < n {
+		return make([]Arc, 0, n)
+	}
+	return s[:0]
+}
+
+// freeze fills c from d's mirror slices: one O(n + m) concatenation
+// per direction. No sorting is needed — nodes are visited in index
+// order and each node's arcs are appended in their insertion order,
+// which is exactly the grouping CSR requires.
+func (c *CSR) freeze(d *DAG) {
+	n := len(d.Nodes)
+	c.succOff = buf.Int32(c.succOff, n+1)
+	c.predOff = buf.Int32(c.predOff, n+1)
+	c.succArcs = growArcs(c.succArcs, d.NumArcs)
+	c.predArcs = growArcs(c.predArcs, d.NumArcs)
+	for i := 0; i < n; i++ {
+		c.succOff[i] = int32(len(c.succArcs))
+		c.succArcs = append(c.succArcs, d.Nodes[i].Succs...)
+		c.predOff[i] = int32(len(c.predArcs))
+		c.predArcs = append(c.predArcs, d.Nodes[i].Preds...)
+	}
+	c.succOff[n] = int32(len(c.succArcs))
+	c.predOff[n] = int32(len(c.predArcs))
+	c.frozen = true
+}
+
+// Freeze builds the DAG's CSR view (a no-op if already frozen) and
+// returns it. Freeze may only be called after construction completes;
+// the view is immutable and shares the DAG's lifetime — for
+// arena-owned DAGs it is invalidated by the arena's next
+// ResetFor/BuildInto, which also recycles the CSR's storage.
+func (d *DAG) Freeze() *CSR {
+	if !d.csr.frozen {
+		d.csr.freeze(d)
+	}
+	return &d.csr
+}
+
+// FrozenCSR returns the CSR view if Freeze has run, else nil. Hot-path
+// consumers use it to pick the flat layout when available without
+// forcing a freeze on callers that never asked for one.
+func (d *DAG) FrozenCSR() *CSR {
+	if d.csr.frozen {
+		return &d.csr
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package dag
+
+import (
+	"testing"
+
+	"daginsched/internal/block"
+	"daginsched/internal/machine"
+	"daginsched/internal/resource"
+	"daginsched/internal/testgen"
+)
+
+func csrTestBlock(seed int64, n int) *block.Block {
+	b := &block.Block{Name: "csr", Insts: testgen.Block(seed, n)}
+	for i := range b.Insts {
+		b.Insts[i].Index = i
+	}
+	return b
+}
+
+// TestFreezeMatchesMirrors freezes DAGs from every builder and checks
+// the CSR view against the Succs/Preds mirrors, both through Validate
+// (which cross-checks spans arc-for-arc) and by walking the accessors.
+func TestFreezeMatchesMirrors(t *testing.T) {
+	m := machine.Pipe1()
+	for _, bld := range AllBuilders() {
+		rt := resource.NewTable(resource.MemExprModel)
+		b := csrTestBlock(77, 60)
+		rt.PrepareBlock(b.Insts)
+		d := bld.Build(b, m, rt)
+		if d.FrozenCSR() != nil {
+			t.Fatalf("%s: DAG frozen before Freeze", bld.Name())
+		}
+		c := d.Freeze()
+		if c2 := d.Freeze(); c2 != c {
+			t.Fatalf("%s: second Freeze returned a different view", bld.Name())
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: Validate after Freeze: %v", bld.Name(), err)
+		}
+		if len(c.SuccArcs()) != d.NumArcs || len(c.PredArcs()) != d.NumArcs {
+			t.Fatalf("%s: flat arrays hold %d/%d arcs, want %d",
+				bld.Name(), len(c.SuccArcs()), len(c.PredArcs()), d.NumArcs)
+		}
+		for i := int32(0); int(i) < d.Len(); i++ {
+			if int(c.NumSuccs(i)) != len(d.Nodes[i].Succs) ||
+				int(c.NumPreds(i)) != len(d.Nodes[i].Preds) {
+				t.Fatalf("%s: node %d span counts diverge", bld.Name(), i)
+			}
+			for k, arc := range c.Succs(i) {
+				if arc != d.Nodes[i].Succs[k] {
+					t.Fatalf("%s: node %d succ %d diverges", bld.Name(), i, k)
+				}
+			}
+			for k, arc := range c.Preds(i) {
+				if arc != d.Nodes[i].Preds[k] {
+					t.Fatalf("%s: node %d pred %d diverges", bld.Name(), i, k)
+				}
+			}
+			lo, hi := c.SuccSpan(i)
+			if int(hi-lo) != len(d.Nodes[i].Succs) {
+				t.Fatalf("%s: node %d SuccSpan [%d,%d) wrong width", bld.Name(), i, lo, hi)
+			}
+		}
+	}
+}
+
+// TestCSRReuseAcrossResetFor drives one arena through blocks of
+// shrinking and growing sizes, freezing each build, and demands the
+// recycled CSR storage never leaks arcs from a previous block.
+func TestCSRReuseAcrossResetFor(t *testing.T) {
+	m := machine.Pipe1()
+	rt := resource.NewTable(resource.MemExprModel)
+	ar := new(BuildArena)
+	bld := TableBackward{}
+	for round, n := range []int{80, 11, 0, 120, 1, 47} {
+		b := csrTestBlock(int64(1000+round), n)
+		rt.PrepareBlock(b.Insts)
+		d := bld.BuildInto(ar, b, m, rt)
+		if d.FrozenCSR() != nil {
+			t.Fatalf("round %d: ResetFor kept the previous block's frozen view", round)
+		}
+		d.Freeze()
+		if err := d.Validate(); err != nil {
+			t.Fatalf("round %d (n=%d): %v", round, n, err)
+		}
+		// The frozen view must agree with a cold rebuild of the block.
+		rt2 := resource.NewTable(resource.MemExprModel)
+		rt2.PrepareBlock(b.Insts)
+		cold := bld.Build(b, m, rt2)
+		if cold.NumArcs != d.NumArcs {
+			t.Fatalf("round %d: recycled build has %d arcs, cold build %d",
+				round, d.NumArcs, cold.NumArcs)
+		}
+	}
+}
+
+// TestValidateCatchesCSRDivergence corrupts a frozen view in several
+// ways and checks Validate reports each one.
+func TestValidateCatchesCSRDivergence(t *testing.T) {
+	m := machine.Pipe1()
+	build := func() *DAG {
+		rt := resource.NewTable(resource.MemExprModel)
+		b := csrTestBlock(9, 40)
+		rt.PrepareBlock(b.Insts)
+		d := TableBackward{}.Build(b, m, rt)
+		d.Freeze()
+		if err := d.Validate(); err != nil {
+			t.Fatalf("clean DAG invalid: %v", err)
+		}
+		if d.NumArcs == 0 {
+			t.Fatal("test block produced no arcs")
+		}
+		return d
+	}
+
+	d := build()
+	d.csr.succArcs[0].Delay++
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted a diverged succ arc")
+	}
+
+	d = build()
+	d.csr.predArcs[len(d.csr.predArcs)-1].Kind = WAW + 1
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted a diverged pred arc")
+	}
+
+	d = build()
+	d.csr.succOff[1] = d.csr.succOff[1] + 1
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted non-matching offsets")
+	}
+
+	d = build()
+	d.csr.succArcs = d.csr.succArcs[:len(d.csr.succArcs)-1]
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted a truncated flat arc array")
+	}
+}

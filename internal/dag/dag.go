@@ -105,6 +105,10 @@ type DAG struct {
 	// included) when the builder maintained them; nil otherwise. Use
 	// Reachability() to compute them on demand.
 	Reach []*bitset.Set
+
+	// csr is the frozen flat-adjacency view; built by Freeze, dropped
+	// (storage retained) by BuildArena.ResetFor. See csr.go.
+	csr CSR
 }
 
 // Len returns the number of nodes.
@@ -199,7 +203,8 @@ func (d *DAG) TransitiveArcs() int {
 
 // Validate checks structural invariants: arcs point forward in program
 // order, no self-arcs, positive delays, Succs/Preds mirror each other,
-// and any cached reachability (Reach) covers every node. It returns the
+// any cached reachability (Reach) covers every node, and any frozen
+// CSR view agrees arc-for-arc with the mirror slices. It returns the
 // first violation found.
 func (d *DAG) Validate() error {
 	if d.Reach != nil {
@@ -248,6 +253,62 @@ func (d *DAG) Validate() error {
 	if succTotal != predTotal || succTotal != d.NumArcs {
 		return fmt.Errorf("arc accounting: succ %d, pred %d, NumArcs %d",
 			succTotal, predTotal, d.NumArcs)
+	}
+	if d.csr.frozen {
+		if err := d.validateCSR(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateCSR cross-checks the frozen CSR view against the Succs/Preds
+// mirrors: offsets must be monotone and span the full arc arrays, the
+// flat arc counts must equal NumArcs, and every node's span must match
+// its mirror slice element-for-element (catching any divergence after
+// ResetFor reuse of the CSR's recycled storage).
+func (d *DAG) validateCSR() error {
+	c := &d.csr
+	n := len(d.Nodes)
+	if len(c.succOff) != n+1 || len(c.predOff) != n+1 {
+		return fmt.Errorf("csr: offset arrays cover %d/%d nodes, DAG has %d",
+			len(c.succOff)-1, len(c.predOff)-1, n)
+	}
+	if c.succOff[0] != 0 || c.predOff[0] != 0 {
+		return fmt.Errorf("csr: offsets start at %d/%d, want 0", c.succOff[0], c.predOff[0])
+	}
+	if len(c.succArcs) != d.NumArcs || len(c.predArcs) != d.NumArcs {
+		return fmt.Errorf("csr: %d succ / %d pred arcs, NumArcs %d",
+			len(c.succArcs), len(c.predArcs), d.NumArcs)
+	}
+	if int(c.succOff[n]) != d.NumArcs || int(c.predOff[n]) != d.NumArcs {
+		return fmt.Errorf("csr: final offsets %d/%d, NumArcs %d",
+			c.succOff[n], c.predOff[n], d.NumArcs)
+	}
+	for i := 0; i < n; i++ {
+		if c.succOff[i] > c.succOff[i+1] || c.predOff[i] > c.predOff[i+1] {
+			return fmt.Errorf("csr: offsets not monotone at node %d", i)
+		}
+		succs := c.succArcs[c.succOff[i]:c.succOff[i+1]]
+		if len(succs) != len(d.Nodes[i].Succs) {
+			return fmt.Errorf("csr: node %d has %d succs, mirror has %d",
+				i, len(succs), len(d.Nodes[i].Succs))
+		}
+		for k, arc := range succs {
+			if arc != d.Nodes[i].Succs[k] {
+				return fmt.Errorf("csr: node %d succ %d diverges from mirror", i, k)
+			}
+		}
+		preds := c.predArcs[c.predOff[i]:c.predOff[i+1]]
+		if len(preds) != len(d.Nodes[i].Preds) {
+			return fmt.Errorf("csr: node %d has %d preds, mirror has %d",
+				i, len(preds), len(d.Nodes[i].Preds))
+		}
+		for k, arc := range preds {
+			if arc != d.Nodes[i].Preds[k] {
+				return fmt.Errorf("csr: node %d pred %d diverges from mirror", i, k)
+			}
+		}
 	}
 	return nil
 }

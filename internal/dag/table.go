@@ -199,7 +199,12 @@ func (t TableBackward) BuildInto(ar *BuildArena, b *block.Block, m *machine.Mode
 			ts.useList[u.id] = append(ts.useList[u.id], use{node: i, slot: u.slot})
 		}
 		if t.PreventTransitive {
-			r := reach[i] // pooled, empty, capacity n
+			// The maps are carved from the arena's flat slab (node j's
+			// map at word stride j of one contiguous array), so the OR
+			// below is a word-parallel sweep over adjacent memory —
+			// peer maps of nearby nodes share cache lines instead of
+			// living in scattered heap allocations.
+			r := reach[i] // slab-carved, empty, capacity n
 			r.Set(int(i))
 			// "if (bit to_b in bitmap_for_a is set) return;
 			//  bitmap_for_a = bitmap_for_a OR bitmap_for_b; add_arc".

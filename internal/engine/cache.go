@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+
+	"daginsched/internal/dag"
+	"daginsched/internal/isa"
+)
+
+// The block-fingerprint schedule cache. Benchmark corpora and real
+// programs repeat small basic blocks constantly (compare-and-branch
+// idioms, spill/reload pairs, epilogues), and the whole per-block
+// pipeline — resource preparation, DAG construction, heuristics, list
+// scheduling — is a pure function of the instruction sequence once the
+// engine's machine model, builder and memory model are fixed. Hashing
+// a canonical encoding of the instructions therefore lets a repeated
+// block skip the pipeline entirely: the memoized schedule is copied
+// into the block's result slot and the common case becomes a hash
+// lookup.
+//
+// The cache is striped into shards, each behind its own mutex, so
+// concurrent workers do not serialize on one lock; it is bounded by a
+// simple per-shard entry cap that resets (clears) the shard when
+// exceeded; and it is exact — a lookup compares the full canonical
+// encoding, so two distinct blocks can never alias, even on a 64-bit
+// hash collision or when one block's encoding is a prefix of
+// another's (the encoding is length-delimited throughout).
+
+// cacheShards is the stripe count. 16 shards keep cross-worker
+// contention negligible at the pool sizes the engine runs (mutex
+// acquisitions are ~ns against ~µs block pipelines).
+const cacheShards = 16
+
+// defaultCacheCap is the default total entry bound across all shards.
+const defaultCacheCap = 1 << 16
+
+// cacheEntry is one memoized block schedule. All fields are immutable
+// after insert; readers may use them after dropping the shard lock.
+type cacheEntry struct {
+	key    []byte  // canonical block encoding, owned by the entry
+	order  []int32 // scheduled order, owned by the entry
+	issue  []int32 // issue cycle per node, owned by the entry
+	cycles int32
+	arcs   int32
+	stats  dag.Stats // filled only when the engine collects DAG stats
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[uint64]*cacheEntry
+}
+
+// schedCache is the sharded, bounded schedule cache.
+type schedCache struct {
+	perShard int
+	shards   [cacheShards]cacheShard
+}
+
+func newSchedCache(capacity int) *schedCache {
+	if capacity <= 0 {
+		capacity = defaultCacheCap
+	}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &schedCache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]*cacheEntry)
+	}
+	return c
+}
+
+func (c *schedCache) shard(h uint64) *cacheShard {
+	// Use high bits for the stripe so it stays independent of the map's
+	// own low-bit bucketing.
+	return &c.shards[h>>(64-4)]
+}
+
+// lookup returns the entry for (h, key), or nil. The full encoding is
+// compared, so a hash collision reads as a miss, never as a wrong hit.
+func (c *schedCache) lookup(h uint64, key []byte) *cacheEntry {
+	s := c.shard(h)
+	s.mu.Lock()
+	e := s.m[h]
+	s.mu.Unlock()
+	if e != nil && bytes.Equal(e.key, key) {
+		return e
+	}
+	return nil
+}
+
+// insert memoizes e under (h, key). If the shard is at its cap it is
+// reset (cleared) first — the "simple size cap with reset" bound. If
+// another block already occupies hash h (a 64-bit collision, or a
+// concurrent worker winning the race on the same block), the existing
+// entry is kept: first wins, and correctness never depends on an
+// insert landing because hits re-verify the full key.
+func (c *schedCache) insert(h uint64, e *cacheEntry) {
+	s := c.shard(h)
+	s.mu.Lock()
+	if len(s.m) >= c.perShard {
+		clear(s.m)
+	}
+	if _, exists := s.m[h]; !exists {
+		s.m[h] = e
+	}
+	s.mu.Unlock()
+}
+
+// entries returns the current total entry count (tests only).
+func (c *schedCache) entries() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// appendBlockKey appends the canonical encoding of a block's
+// instruction sequence to dst. The encoding covers every instruction
+// field the scheduling pipeline can observe — opcode, register
+// operands, immediate, memory expression (base, index, offset, symbol)
+// and the annul bit — and is length-delimited (leading instruction
+// count, length-prefixed symbols) so no block's encoding is a prefix
+// of another's. Labels and branch target names are deliberately
+// excluded: dependence analysis, machine delays and the schedulers
+// never read them. The engine-constant context (machine model,
+// builder, memory model) needs no encoding because every cache is
+// private to one Engine, whose configuration is immutable.
+func appendBlockKey(dst []byte, insts []isa.Inst) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(insts)))
+	for i := range insts {
+		in := &insts[i]
+		var flags byte
+		if in.HasImm {
+			flags |= 1
+		}
+		if in.Annul {
+			flags |= 2
+		}
+		dst = append(dst, byte(in.Op), byte(in.RS1), byte(in.RS2), byte(in.RD), flags)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Imm))
+		dst = append(dst, byte(in.Mem.Base), byte(in.Mem.Index))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Mem.Offset))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(in.Mem.Sym)))
+		dst = append(dst, in.Mem.Sym...)
+	}
+	return dst
+}
+
+// fnv1a64 is the 64-bit FNV-1a hash of b.
+func fnv1a64(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"daginsched/internal/block"
+	"daginsched/internal/dag"
+	"daginsched/internal/isa"
+	"daginsched/internal/machine"
+	"daginsched/internal/testgen"
+)
+
+// cloneBlock deep-copies a block so the corpus holds genuinely distinct
+// *block.Block values with identical instruction sequences — the
+// situation the fingerprint cache exists for.
+func cloneBlock(b *block.Block) *block.Block {
+	insts := append([]isa.Inst(nil), b.Insts...)
+	return &block.Block{Name: b.Name + "'", Insts: insts}
+}
+
+// TestCacheCollisionNoAlias drives the sharded cache directly: an entry
+// stored under hash h must not be returned for a different key that
+// lands on the same hash, and a later insert under an occupied hash
+// must not displace the first entry (first wins).
+func TestCacheCollisionNoAlias(t *testing.T) {
+	c := newSchedCache(0)
+	keyA := []byte("block-a-canonical-encoding")
+	keyB := []byte("block-b-canonical-encoding")
+	h := fnv1a64(keyA) // pretend keyB collides onto the same hash
+
+	entA := &cacheEntry{key: keyA, cycles: 7}
+	c.insert(h, entA)
+	if got := c.lookup(h, keyA); got != entA {
+		t.Fatal("lookup with the stored key missed")
+	}
+	if got := c.lookup(h, keyB); got != nil {
+		t.Fatalf("hash collision aliased: got entry with cycles=%d", got.cycles)
+	}
+
+	// First wins: a colliding insert leaves the original entry in place.
+	c.insert(h, &cacheEntry{key: keyB, cycles: 99})
+	if got := c.lookup(h, keyA); got != entA {
+		t.Fatal("colliding insert displaced the first entry")
+	}
+	if got := c.lookup(h, keyB); got != nil {
+		t.Fatal("colliding insert aliased the occupied hash")
+	}
+}
+
+// TestCacheKeyPrefixNoAlias checks the canonical encoding is
+// length-delimited: a block that is an exact prefix of another must
+// produce a different key (and so a different fingerprint), not a
+// prefix-aliased one.
+func TestCacheKeyPrefixNoAlias(t *testing.T) {
+	insts := testgen.Block(321, 24)
+	full := &block.Block{Name: "full", Insts: insts}
+	prefix := &block.Block{Name: "prefix", Insts: insts[:12]}
+
+	keyFull := appendBlockKey(nil, full.Insts)
+	keyPrefix := appendBlockKey(nil, prefix.Insts)
+	if bytes.Equal(keyFull, keyPrefix) {
+		t.Fatal("prefix block encodes identically to the full block")
+	}
+	if bytes.HasPrefix(keyFull, keyPrefix) {
+		t.Fatal("prefix block's encoding is a byte prefix of the full block's")
+	}
+	if fnv1a64(keyFull) == fnv1a64(keyPrefix) {
+		t.Fatal("prefix and full block share a fingerprint")
+	}
+
+	// End to end: scheduling both must record two misses and no hits.
+	for i := range full.Insts {
+		full.Insts[i].Index = i
+	}
+	for i := range prefix.Insts {
+		prefix.Insts[i].Index = i
+	}
+	e, err := New(Config{Workers: 1, Model: machine.Pipe1(), Cache: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run([]*block.Block{full, prefix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheHits != 0 || res.Stats.CacheMisses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0/2", res.Stats.CacheHits, res.Stats.CacheMisses)
+	}
+}
+
+// TestCacheCapReset checks the bound: however many distinct blocks flow
+// through, the entry count never exceeds the configured cap (a full
+// shard is cleared before the next insert).
+func TestCacheCapReset(t *testing.T) {
+	const cap = 64 // 4 entries per shard
+	c := newSchedCache(cap)
+	for i := 0; i < 10*cap; i++ {
+		key := appendBlockKey(nil, testgen.Block(int64(i), 3))
+		key = append(key, byte(i), byte(i>>8)) // force distinct keys
+		c.insert(fnv1a64(key), &cacheEntry{key: key})
+		if n := c.entries(); n > cap {
+			t.Fatalf("after %d inserts cache holds %d entries, cap %d", i+1, n, cap)
+		}
+	}
+	if c.entries() == 0 {
+		t.Fatal("cache empty after inserts — reset logic is clearing eagerly")
+	}
+}
+
+// TestEngineCacheHitRateAndIdenticalOutput is the satellite end-to-end
+// check: driving the same corpus through a cache-enabled engine twice
+// must hit on the second pass, and every run — cache cold, cache warm,
+// cache disabled — must produce byte-identical schedules, with the
+// scoreboard simulator co-signing cached hits via Verify.
+func TestEngineCacheHitRateAndIdenticalOutput(t *testing.T) {
+	m := machine.Pipe1()
+	base := testBlocks(t, 20)
+	// Duplicate every block (as a distinct allocation) so hits occur
+	// within a single pass too, not only across passes.
+	corpus := make([]*block.Block, 0, 2*len(base))
+	for _, b := range base {
+		corpus = append(corpus, b, cloneBlock(b))
+	}
+
+	off, err := New(Config{Workers: 1, Model: m, KeepOrders: true, CollectDAGStats: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := off.Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrders := make([][]int32, len(want.Orders))
+	for i, o := range want.Orders {
+		wantOrders[i] = append([]int32(nil), o...)
+	}
+	wantCycles := append([]int32(nil), want.Cycles...)
+	wantStats := append([]dag.Stats(nil), want.DAGStats...)
+
+	on, err := New(Config{Workers: 1, Model: m, KeepOrders: true, CollectDAGStats: true, Verify: true, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := on.Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameBatch(t, wantOrders, wantCycles, wantStats, first)
+	// Each duplicated block should hit its twin even on the cold pass.
+	if first.Stats.CacheHits < int64(len(base)) {
+		t.Fatalf("cold pass hits=%d, want >= %d (duplicated corpus)",
+			first.Stats.CacheHits, len(base))
+	}
+
+	second, err := on.Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameBatch(t, wantOrders, wantCycles, wantStats, second)
+	if second.Stats.CacheHitRate != 1.0 {
+		t.Fatalf("warm pass hit rate %.3f (hits=%d misses=%d), want 1.0",
+			second.Stats.CacheHitRate, second.Stats.CacheHits, second.Stats.CacheMisses)
+	}
+}
+
+// TestEngineCacheDeterminism is the race-suite target: eight workers
+// racing on a cache-enabled engine must produce schedules byte-identical
+// to a one-worker cache-disabled reference, across repeated runs (cold
+// cache, then warm). scripts/ci.sh runs this under -race.
+func TestEngineCacheDeterminism(t *testing.T) {
+	m := machine.Pipe1()
+	blocks := testBlocks(t, 60)
+
+	ref, err := New(Config{Workers: 1, Model: m, KeepOrders: true, CollectDAGStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ref.Run(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrders := make([][]int32, len(serial.Orders))
+	for i, o := range serial.Orders {
+		wantOrders[i] = append([]int32(nil), o...)
+	}
+	wantCycles := append([]int32(nil), serial.Cycles...)
+	wantStats := append([]dag.Stats(nil), serial.DAGStats...)
+
+	e8, err := New(Config{Workers: 8, Model: m, KeepOrders: true, CollectDAGStats: true, Verify: true, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		par, err := e8.Run(blocks)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		requireSameBatch(t, wantOrders, wantCycles, wantStats, par)
+	}
+}
+
+// TestVerifyCatchesCorruptCacheHit corrupts a memoized entry in place
+// and checks Config.Verify refuses the poisoned hit: cached schedules
+// get the same independent scoreboard witness as computed ones.
+func TestVerifyCatchesCorruptCacheHit(t *testing.T) {
+	m := machine.Pipe1()
+	blocks := testBlocks(t, 4)
+	e, err := New(Config{Workers: 1, Model: m, KeepOrders: true, Verify: true, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(blocks); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for i := range e.cache.shards {
+		s := &e.cache.shards[i]
+		for _, ent := range s.m {
+			if len(ent.order) > 0 {
+				ent.cycles++ // poison the memoized completion time
+				corrupted++
+			}
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no non-empty cache entries to corrupt")
+	}
+	_, err = e.Run(blocks)
+	if err == nil {
+		t.Fatal("Verify accepted a corrupted cache hit")
+	}
+	if !strings.Contains(err.Error(), "cycles") {
+		t.Fatalf("unexpected verify error: %v", err)
+	}
+}

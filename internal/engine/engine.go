@@ -50,8 +50,24 @@ type Config struct {
 	CollectDAGStats bool
 	// Verify re-times every schedule on the pipe scoreboard simulator —
 	// an independent witness that never consults the DAG — and fails
-	// the run on any cycle disagreement.
+	// the run on any cycle disagreement. Cache hits are re-simulated
+	// too: a memoized schedule gets the same independent witness as a
+	// freshly computed one.
 	Verify bool
+	// DisableCSR turns off the frozen flat-adjacency (CSR) hot path and
+	// falls back to the PR 1 pipeline that chases per-node arc slices.
+	// The schedules are identical either way; the switch exists for
+	// benchmarking the layouts against each other.
+	DisableCSR bool
+	// Cache enables the block-fingerprint schedule cache: repeated
+	// blocks skip DAG construction, heuristics and scheduling, copying
+	// the memoized schedule into the result slot. Output is
+	// byte-identical with the cache on or off.
+	Cache bool
+	// CacheCap bounds the cache's total entry count (<= 0 means a
+	// 65536-entry default). A full shard is reset, not evicted LRU —
+	// the bound is a safety valve, not a tuning surface.
+	CacheCap int
 }
 
 // Stats summarizes one batch run; the JSON form is what cmd/schedbench
@@ -68,6 +84,12 @@ type Stats struct {
 	ArcsPerSec   float64 `json:"arcs_per_sec"`
 	P50Micros    float64 `json:"p50_block_micros"`
 	P99Micros    float64 `json:"p99_block_micros"`
+	// CacheHits/CacheMisses count schedule-cache outcomes for the run
+	// (both zero when the cache is disabled); CacheHitRate is
+	// hits/(hits+misses).
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 // BatchResult is the outcome of one Run, indexed by block position.
@@ -101,19 +123,35 @@ type worker struct {
 	obs   heur.FusedBackward
 	bld   dag.ReuseBuilder
 	fused bool
+	csr   bool
 	sc    sched.Scratch
 	sel   *sched.PooledWinnow
+
+	// Schedule-cache scratch: the recycled key-encoding buffer, the
+	// per-run hit/miss tallies (summed lock-free into Stats after the
+	// pool drains) and a Result shell for re-verifying cached hits.
+	enc          []byte
+	hits, misses int64
+	hitRes       sched.Result
 }
 
 func newWorker(cfg *Config) *worker {
 	w := &worker{
 		rt:  resource.NewTable(cfg.Mem),
 		a:   heur.New(nil, cfg.Model),
+		csr: !cfg.DisableCSR,
 		sel: sched.NewPooledWinnow(sched.Section6Ranked()),
 	}
-	if cfg.Builder == "tablef" {
+	switch {
+	case cfg.Builder == "tablef":
 		w.bld = dag.TableForward{}
-	} else {
+	case w.csr:
+		// CSR pipeline: plain backward table building, then one fused
+		// reverse walk over the frozen flat arc array computes every
+		// heuristic the selector reads — the construction observer is
+		// not needed.
+		w.bld = dag.TableBackward{}
+	default:
 		w.fused = true
 		w.obs = heur.FusedBackward{A: w.a, ComputeLocals: true}
 		w.bld = dag.TableBackward{Observer: &w.obs}
@@ -127,7 +165,13 @@ func newWorker(cfg *Config) *worker {
 func (w *worker) schedule(b *block.Block, m *machine.Model) (*sched.Result, *dag.DAG) {
 	w.rt.PrepareBlock(b.Insts)
 	d := w.bld.BuildInto(&w.ar, b, m, w.rt)
-	if !w.fused {
+	if w.csr {
+		// Freeze the DAG into its flat CSR view; the heuristic pass and
+		// the scheduler below both run over the two flat arc arrays.
+		d.Freeze()
+		w.a.D = d
+		w.a.ComputeFusedCSR()
+	} else if !w.fused {
 		w.a.D = d
 		w.a.ComputeBackward()
 		w.a.ComputeLocal()
@@ -142,6 +186,10 @@ func (w *worker) schedule(b *block.Block, m *machine.Model) (*sched.Result, *dag
 type Engine struct {
 	cfg     Config
 	workers []*worker
+	// cache is the block-fingerprint schedule cache (nil unless
+	// Config.Cache). It persists across Run calls, so a corpus that
+	// repeats — or a second run over the same corpus — hits.
+	cache *schedCache
 }
 
 // New validates cfg and builds the worker pool.
@@ -162,6 +210,9 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{cfg: cfg, workers: make([]*worker, cfg.Workers)}
 	for i := range e.workers {
 		e.workers[i] = newWorker(&e.cfg)
+	}
+	if cfg.Cache {
+		e.cache = newSchedCache(cfg.CacheCap)
 	}
 	return e, nil
 }
@@ -220,6 +271,10 @@ func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult,
 		}
 	}
 
+	for _, w := range e.workers {
+		w.hits, w.misses = 0, 0
+	}
+
 	start := time.Now()
 	if len(e.workers) == 1 {
 		w := e.workers[0]
@@ -260,6 +315,13 @@ func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult,
 		st.InstsPerSec = float64(st.Insts) / s
 		st.ArcsPerSec = float64(st.Arcs) / s
 	}
+	for _, w := range e.workers {
+		st.CacheHits += w.hits
+		st.CacheMisses += w.misses
+	}
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
 	if nb > 0 {
 		res.sorted = buf.Int64(res.sorted, nb)
 		copy(res.sorted, res.durs)
@@ -277,12 +339,39 @@ func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult,
 }
 
 // process runs block i in worker w's scratch and writes its slot of
-// the batch result. Slots are disjoint per block, so no locking.
+// the batch result. Slots are disjoint per block, so no locking. With
+// the cache enabled, a fingerprint hit copies the memoized schedule
+// into the slot and skips the entire pipeline.
 func (e *Engine) process(w *worker, res *BatchResult, blocks []*block.Block, i int) {
 	b := blocks[i]
 	t0 := time.Now()
+	var h uint64
+	if e.cache != nil {
+		w.enc = appendBlockKey(w.enc[:0], b.Insts)
+		h = fnv1a64(w.enc)
+		if ent := e.cache.lookup(h, w.enc); ent != nil {
+			w.hits++
+			res.Cycles[i] = ent.cycles
+			res.Arcs[i] = ent.arcs
+			if res.Orders != nil {
+				copy(res.Orders[i], ent.order)
+			}
+			if res.DAGStats != nil {
+				res.DAGStats[i] = ent.stats
+			}
+			if e.cfg.Verify {
+				// Same independent witness as a computed schedule; the
+				// simulator needs the worker's table prepared for b.
+				w.rt.PrepareBlock(b.Insts)
+				w.hitRes = sched.Result{Order: ent.order, Issue: ent.issue, Cycles: ent.cycles}
+				res.errs[i] = verify(b, &w.hitRes, e.cfg.Model, w.rt)
+			}
+			res.durs[i] = int64(time.Since(t0))
+			return
+		}
+		w.misses++
+	}
 	r, d := w.schedule(b, e.cfg.Model)
-	res.durs[i] = int64(time.Since(t0))
 	res.Cycles[i] = r.Cycles
 	res.Arcs[i] = int32(d.NumArcs)
 	if res.Orders != nil {
@@ -291,9 +380,23 @@ func (e *Engine) process(w *worker, res *BatchResult, blocks []*block.Block, i i
 	if res.DAGStats != nil {
 		res.DAGStats[i] = d.Statistics()
 	}
+	if e.cache != nil {
+		ent := &cacheEntry{
+			key:    append([]byte(nil), w.enc...),
+			order:  append([]int32(nil), r.Order...),
+			issue:  append([]int32(nil), r.Issue...),
+			cycles: r.Cycles,
+			arcs:   int32(d.NumArcs),
+		}
+		if res.DAGStats != nil {
+			ent.stats = res.DAGStats[i]
+		}
+		e.cache.insert(h, ent)
+	}
 	if e.cfg.Verify {
 		res.errs[i] = verify(b, r, e.cfg.Model, w.rt)
 	}
+	res.durs[i] = int64(time.Since(t0))
 }
 
 // verify re-times the schedule on the scoreboard simulator, which

@@ -63,7 +63,7 @@ func forwardLoop(s *State, sel Selector, forcedLast []bool, cands, held []int32)
 			}
 		}
 		s.place(pick)
-		for _, arc := range d.Nodes[pick].Succs {
+		for _, arc := range s.succs(pick) {
 			if s.unschedParents[arc.To] == 0 {
 				admit(arc.To)
 			}
@@ -151,8 +151,9 @@ func (s *State) place(pick int32) {
 		units[ui] = at + int32(s.M.UnitBusy(in.Op))
 	}
 	// Update children: unscheduled-parent counters and earliest
-	// execution times.
-	for _, arc := range s.D.Nodes[pick].Succs {
+	// execution times. On a frozen DAG this is the scheduler's hottest
+	// arc walk and runs over the flat CSR successor array.
+	for _, arc := range s.succs(pick) {
 		s.unschedParents[arc.To]--
 		if t := at + arc.Delay; t > s.eet[arc.To] {
 			s.eet[arc.To] = t
@@ -195,7 +196,7 @@ func Backward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Selector) *Result
 		rev = append(rev, n-1)
 		picked[n-1] = true
 		s.last = n - 1
-		for _, arc := range d.Nodes[n-1].Preds {
+		for _, arc := range s.preds(n - 1) {
 			s.unschedKids[arc.From]--
 		}
 	}
@@ -217,7 +218,7 @@ func Backward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Selector) *Result
 		picked[pick] = true
 		rev = append(rev, pick)
 		s.last = pick
-		for _, arc := range d.Nodes[pick].Preds {
+		for _, arc := range s.preds(pick) {
 			if s.unschedKids[arc.From]--; s.unschedKids[arc.From] == 0 {
 				cands = append(cands, arc.From)
 			}

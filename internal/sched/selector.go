@@ -47,7 +47,7 @@ func (s *State) Value(k heur.Key, i int32) int64 {
 	case heur.Slack:
 		return int64(a.Slack[i])
 	case heur.NumChildren:
-		return int64(s.D.Nodes[i].NumChildren())
+		return int64(len(s.succs(i)))
 	case heur.DelaysToChildren:
 		return int64(a.SumDelayChild[i])
 	case heur.NumSingleParent:
@@ -57,7 +57,7 @@ func (s *State) Value(k heur.Key, i int32) int64 {
 	case heur.NumUncovered:
 		return int64(s.NumUncoveredChildren(i))
 	case heur.NumParents:
-		return int64(s.D.Nodes[i].NumParents())
+		return int64(len(s.preds(i)))
 	case heur.DelaysFromParents:
 		return int64(a.SumDelayParent[i])
 	case heur.NumDescendants:

@@ -56,6 +56,13 @@ type State struct {
 	M *machine.Model
 	A *heur.Annot
 
+	// csr is the DAG's frozen flat-adjacency view when available (nil
+	// otherwise). Every arc walk in the scheduling loop — the
+	// ready-list decrement in place, the dynamic child/parent
+	// heuristics — goes through succs/preds so a frozen DAG is
+	// scheduled entirely over the two flat arc arrays.
+	csr *dag.CSR
+
 	time           int32   // current issue cycle
 	eet            []int32 // earliest execution time per node (dynamic)
 	unschedParents []int32
@@ -82,6 +89,7 @@ func newState(d *dag.DAG, m *machine.Model, a *heur.Annot) *State {
 func (s *State) reset(d *dag.DAG, m *machine.Model, a *heur.Annot) {
 	n := d.Len()
 	s.D, s.M, s.A = d, m, a
+	s.csr = d.FrozenCSR()
 	s.eet = buf.Int32(s.eet, n)
 	s.unschedParents = buf.Int32(s.unschedParents, n)
 	s.unschedKids = buf.Int32(s.unschedKids, n)
@@ -94,10 +102,18 @@ func (s *State) reset(d *dag.DAG, m *machine.Model, a *heur.Annot) {
 	}
 	s.last = -1
 	s.time, s.usedSlots, s.usedGroups = 0, 0, 0
-	for i := 0; i < n; i++ {
-		s.unschedParents[i] = int32(len(d.Nodes[i].Preds))
-		s.unschedKids[i] = int32(len(d.Nodes[i].Succs))
-		s.issue[i] = -1
+	if c := s.csr; c != nil {
+		for i := int32(0); i < int32(n); i++ {
+			s.unschedParents[i] = c.NumPreds(i)
+			s.unschedKids[i] = c.NumSuccs(i)
+			s.issue[i] = -1
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s.unschedParents[i] = int32(len(d.Nodes[i].Preds))
+			s.unschedKids[i] = int32(len(d.Nodes[i].Succs))
+			s.issue[i] = -1
+		}
 	}
 	if s.unitBusy == nil {
 		s.unitBusy = make([][]int32, isa.NumClasses)
@@ -109,6 +125,24 @@ func (s *State) reset(d *dag.DAG, m *machine.Model, a *heur.Annot) {
 			s.unitBusy[c] = s.unitBusy[c][:0]
 		}
 	}
+}
+
+// succs returns node i's successor arcs, from the flat CSR view when
+// the DAG is frozen (identical order either way).
+func (s *State) succs(i int32) []dag.Arc {
+	if s.csr != nil {
+		return s.csr.Succs(i)
+	}
+	return s.D.Nodes[i].Succs
+}
+
+// preds returns node i's predecessor arcs, from the flat CSR view when
+// the DAG is frozen (identical order either way).
+func (s *State) preds(i int32) []dag.Arc {
+	if s.csr != nil {
+		return s.csr.Preds(i)
+	}
+	return s.D.Nodes[i].Preds
 }
 
 // Time returns the current issue cycle.
@@ -162,7 +196,7 @@ func (s *State) InterlocksWithPrev(i int32) bool {
 	if s.last < 0 {
 		return false
 	}
-	for _, arc := range s.D.Nodes[i].Preds {
+	for _, arc := range s.preds(i) {
 		if arc.From == s.last && s.issue[s.last]+arc.Delay > s.time+1 {
 			return true
 		}
@@ -176,7 +210,7 @@ func (s *State) InterlocksWithPrev(i int32) bool {
 // does).
 func (s *State) NumSingleParentChildren(i int32) int32 {
 	var n int32
-	for _, arc := range s.D.Nodes[i].Succs {
+	for _, arc := range s.succs(i) {
 		if s.unschedParents[arc.To] == 1 {
 			n++
 		}
@@ -188,7 +222,7 @@ func (s *State) NumSingleParentChildren(i int32) int32 {
 // their arc delays.
 func (s *State) SumDelaysToSingleParentChildren(i int32) int32 {
 	var n int32
-	for _, arc := range s.D.Nodes[i].Succs {
+	for _, arc := range s.succs(i) {
 		if s.unschedParents[arc.To] == 1 {
 			n += arc.Delay
 		}
@@ -202,7 +236,7 @@ func (s *State) SumDelaysToSingleParentChildren(i int32) int32 {
 // delay to the child be equal to one").
 func (s *State) NumUncoveredChildren(i int32) int32 {
 	var n int32
-	for _, arc := range s.D.Nodes[i].Succs {
+	for _, arc := range s.succs(i) {
 		if s.unschedParents[arc.To] == 1 && arc.Delay == 1 {
 			n++
 		}
@@ -218,7 +252,7 @@ func (s *State) IsBirthing(i int32) bool {
 	if s.last < 0 {
 		return false
 	}
-	for _, arc := range s.D.Nodes[i].Succs {
+	for _, arc := range s.succs(i) {
 		if arc.To == s.last && arc.Kind == dag.RAW {
 			return true
 		}

@@ -1,8 +1,11 @@
 #!/bin/sh
 # CI gate: vet, build, the full test suite under the race detector
 # (which exercises the batch engine's 8-worker determinism test for
-# data races between worker arenas), and a one-iteration engine
-# benchmark smoke run that checks the zero-allocation steady state.
+# data races between worker arenas), the cache-enabled determinism
+# test re-run under -race at count=3 (eight workers racing lookups,
+# first-wins inserts and shard resets against a shared schedule
+# cache), and a one-iteration engine benchmark smoke run that checks
+# the zero-allocation steady state.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,6 +18,9 @@ go build ./...
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== engine cache determinism (workers=8, -race)"
+go test -race -run '^TestEngineCacheDeterminism$' -count 3 ./internal/engine
 
 echo "== engine bench smoke"
 go test -run '^$' -bench Engine -benchmem -benchtime 1x .
