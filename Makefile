@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench ci
+.PHONY: all build vet lint test race bench-smoke bench ci
 
 all: build
 
@@ -9,6 +9,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis: the schedlint suite enforces the
+# //sched:noalloc, arena-lifetime, //sched:guarded-by and
+# b.ReportAllocs() invariants (see DESIGN.md §7). Non-zero exit on any
+# finding.
+lint:
+	$(GO) run ./cmd/schedlint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,76 @@
+// Schedlint is the repo's static-analysis driver: it loads every
+// package named by its arguments (default ./...) and runs the four
+// invariant passes of internal/analysis — noalloc, arenalife,
+// guardedby, benchallocs. Findings print as
+//
+//	file:line:col: [pass] message
+//
+// (or as JSON with -json) and the exit status is 1 when any finding
+// survives suppression, so `go run ./cmd/schedlint ./...` is a CI
+// gate. Suppress a finding with //sched:lint-ignore <pass> <reason>
+// on the flagged line or the line above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"daginsched/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON ({\"findings\": [...]})")
+	passes := flag.String("passes", "", "comma-separated pass subset (default: all)")
+	dir := flag.String("C", ".", "directory whose module is analyzed")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [flags] [packages]\n\npasses:\n")
+		for _, p := range analysis.Passes {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", p.Name, p.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	ctx, err := analysis.Load(*dir, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+	var sel []string
+	if *passes != "" {
+		sel = strings.Split(*passes, ",")
+	}
+	diags, err := ctx.Run(sel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		doc := struct {
+			Findings []analysis.Diag `json:"findings"`
+		}{Findings: diags}
+		if doc.Findings == nil {
+			doc.Findings = []analysis.Diag{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "schedlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

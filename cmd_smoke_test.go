@@ -90,6 +90,27 @@ func TestSmokeDagstat(t *testing.T) {
 	}
 }
 
+func TestSmokeSchedlint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short mode")
+	}
+	out := runTool(t, "", "schedlint", "-json", "./...")
+	var doc struct {
+		Findings []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Pass string `json:"pass"`
+			Msg  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("schedlint -json malformed: %v\n%s", err, out)
+	}
+	if len(doc.Findings) != 0 {
+		t.Errorf("schedlint found violations in the repo: %+v", doc.Findings)
+	}
+}
+
 func TestSmokeSchedbench(t *testing.T) {
 	if testing.Short() {
 		t.Skip("smoke tests skipped in -short mode")

@@ -1,0 +1,201 @@
+// Package analysis is schedlint: a repo-specific static-analysis
+// suite, built only on the standard library's go/ast, go/parser,
+// go/types and go/token, that enforces the invariants the scheduling
+// engine's performance work bought its speed with but that the
+// compiler cannot check:
+//
+//   - noalloc: functions annotated //sched:noalloc (and everything
+//     they statically call within the module) must contain no
+//     allocating constructs. The engine's steady-state per-block path
+//     is advertised as allocation-free; this pass is what keeps that
+//     claim true as the code evolves.
+//   - arenalife: values derived from the arena constructors
+//     (dag.BuildArena, package buf, bitset.Slab.Carve, the frozen CSR
+//     views) are invalidated by the arena's next ResetFor. They must
+//     not be stored in package-level variables nor returned across an
+//     exported boundary outside the arena-owning packages.
+//   - guardedby: struct fields annotated //sched:guarded-by <mu> may
+//     only be touched while <mu> is held on the same receiver path —
+//     the schedule cache's sharded stripes are the motivating case.
+//   - benchallocs: every Benchmark in the hot packages must call
+//     b.ReportAllocs(), so a regression from 0 allocs/op is visible in
+//     every benchmark run, not only the ones someone thought to check.
+//
+// Diagnostics are file:line:col: [pass] message lines (or JSON with
+// -json) and any finding can be suppressed per line with
+// //sched:lint-ignore <pass> <reason> — the reason is mandatory; an
+// undocumented suppression is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diag is one finding. File is module-relative so output is stable
+// across checkouts.
+type Diag struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Pass string `json:"pass"`
+	Msg  string `json:"message"`
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Pass, d.Msg)
+}
+
+// FuncInfo pairs a function declaration with the package it lives in.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// Context is one schedlint run: the loaded packages under analysis,
+// plus indexes shared by the passes.
+type Context struct {
+	Loader *Loader
+	// Pkgs are the packages named on the command line; passes report
+	// findings rooted in these (noalloc may follow calls into, and
+	// report inside, other module packages the loader pulled in).
+	Pkgs []*Package
+	// Funcs indexes every function declaration of every module package
+	// the loader has seen, keyed by its type-checker object — the
+	// cross-package call-graph map the noalloc pass walks.
+	Funcs map[*types.Func]*FuncInfo
+}
+
+// Load loads the packages matching patterns (relative to the module
+// containing dir) and builds the shared indexes.
+func Load(dir string, patterns []string) (*Context, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Context{Loader: l, Funcs: make(map[*types.Func]*FuncInfo)}
+	for _, d := range dirs {
+		pkg, err := l.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Pkgs = append(ctx.Pkgs, pkg)
+	}
+	// Index declarations over everything the loader saw, not only the
+	// requested packages, so call graphs cross package boundaries even
+	// under narrow patterns.
+	for _, pkg := range l.pkgs {
+		if pkg == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					ctx.Funcs[obj] = &FuncInfo{Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+	}
+	return ctx, nil
+}
+
+// Passes is the registry, in reporting order.
+var Passes = []struct {
+	Name string
+	Run  func(*Context) []Diag
+	Doc  string
+}{
+	{"noalloc", runNoalloc, "//sched:noalloc functions and their static callees must not allocate"},
+	{"arenalife", runArenaLife, "arena-backed values must not outlive ResetFor (no globals, no exported returns)"},
+	{"guardedby", runGuardedBy, "//sched:guarded-by fields only touched under their mutex"},
+	{"benchallocs", runBenchAllocs, "hot-package benchmarks must call b.ReportAllocs()"},
+}
+
+// Run executes the named passes (nil or empty = all) and returns the
+// surviving findings: suppressed diagnostics are dropped, malformed
+// suppressions are added as findings of their own, and the result is
+// deduplicated and sorted by position.
+func (ctx *Context) Run(passes []string) ([]Diag, error) {
+	want := make(map[string]bool)
+	for _, p := range passes {
+		want[p] = true
+	}
+	if len(passes) > 0 {
+		for _, p := range passes {
+			known := false
+			for _, reg := range Passes {
+				if reg.Name == p {
+					known = true
+				}
+			}
+			if !known {
+				return nil, fmt.Errorf("analysis: unknown pass %q", p)
+			}
+		}
+	}
+	var diags []Diag
+	for _, reg := range Passes {
+		if len(want) > 0 && !want[reg.Name] {
+			continue
+		}
+		diags = append(diags, reg.Run(ctx)...)
+	}
+	sup := ctx.suppressions()
+	diags = append(diags, sup.malformed...)
+	var kept []Diag
+	seen := make(map[Diag]bool)
+	for _, d := range diags {
+		if sup.covers(d) || seen[d] {
+			continue
+		}
+		seen[d] = true
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Pass < b.Pass
+	})
+	return kept, nil
+}
+
+// diag builds a Diag at pos with a module-relative file path.
+func (ctx *Context) diag(pos token.Pos, pass, format string, args ...any) Diag {
+	p := ctx.Loader.Fset.Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(ctx.Loader.ModuleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return Diag{File: file, Line: p.Line, Col: p.Column, Pass: pass, Msg: fmt.Sprintf(format, args...)}
+}
+
+// funcDisplayName renders a *types.Func as pkg.Func or pkg.(*Recv).Method
+// with the package's base name only, for readable diagnostics.
+func funcDisplayName(f *types.Func) string {
+	full := f.FullName()
+	if pkg := f.Pkg(); pkg != nil {
+		full = strings.ReplaceAll(full, pkg.Path(), pkg.Name())
+	}
+	return full
+}

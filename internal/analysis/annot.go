@@ -1,0 +1,143 @@
+// Annotation grammar. All schedlint annotations are comment
+// directives (no space after //, like //go:noinline):
+//
+//	//sched:noalloc
+//	    on a func declaration: the function and everything it
+//	    statically calls within the module must not allocate.
+//	//sched:guarded-by <field>
+//	    on a struct field (doc or trailing comment): the field may only
+//	    be read or written while the sibling mutex field <field> is
+//	    held on the same access path.
+//	//sched:lint-ignore <pass> <reason>
+//	    suppresses <pass> findings on the comment's line and on the
+//	    line immediately below it. The reason is mandatory: an
+//	    invariant exception nobody can explain is a bug report, not a
+//	    suppression.
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	dirNoalloc   = "//sched:noalloc"
+	dirGuardedBy = "//sched:guarded-by"
+	dirIgnore    = "//sched:lint-ignore"
+)
+
+// hasNoallocDirective reports whether fn's doc comment carries
+// //sched:noalloc.
+func hasNoallocDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == dirNoalloc || strings.HasPrefix(c.Text, dirNoalloc+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// guardedByMutex returns the mutex field name from a
+// //sched:guarded-by directive on field, or "".
+func guardedByMutex(field *ast.Field) string {
+	for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if rest, ok := strings.CutPrefix(c.Text, dirGuardedBy+" "); ok {
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					return fields[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// suppressionIndex holds every //sched:lint-ignore comment of the run.
+type suppressionIndex struct {
+	// byLine maps (module-relative file, line) to the passes suppressed
+	// on that line.
+	byLine    map[supKey][]string
+	malformed []Diag
+}
+
+type supKey struct {
+	file string
+	line int
+}
+
+// suppressions scans every file the loader parsed (including test
+// files and dependency packages, where noalloc can report) for
+// lint-ignore comments.
+func (ctx *Context) suppressions() *suppressionIndex {
+	idx := &suppressionIndex{byLine: make(map[supKey][]string)}
+	for _, pkg := range ctx.Loader.pkgs {
+		if pkg == nil {
+			continue
+		}
+		for _, files := range [][]*ast.File{pkg.Files, pkg.TestFiles} {
+			for _, f := range files {
+				for _, g := range f.Comments {
+					for _, c := range g.List {
+						idx.add(ctx, c)
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *suppressionIndex) add(ctx *Context, c *ast.Comment) {
+	if c.Text != dirIgnore && !strings.HasPrefix(c.Text, dirIgnore+" ") {
+		return
+	}
+	fields := strings.Fields(strings.TrimPrefix(c.Text, dirIgnore))
+	bad := func(msg string) {
+		idx.malformed = append(idx.malformed, ctx.diag(c.Pos(), "lint-ignore", "%s (want %s <pass> <reason>)", msg, dirIgnore))
+	}
+	if len(fields) == 0 {
+		bad("suppression names no pass")
+		return
+	}
+	pass := fields[0]
+	known := false
+	for _, reg := range Passes {
+		if reg.Name == pass {
+			known = true
+		}
+	}
+	if !known {
+		bad("suppression names unknown pass " + pass)
+		return
+	}
+	if len(fields) < 2 {
+		bad("suppression for " + pass + " gives no reason")
+		return
+	}
+	pos := ctx.Loader.Fset.Position(c.Pos())
+	file := pos.Filename
+	if rel, err := filepath.Rel(ctx.Loader.ModuleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	idx.byLine[supKey{file, pos.Line}] = append(idx.byLine[supKey{file, pos.Line}], pass)
+}
+
+// covers reports whether d is suppressed: a matching lint-ignore on
+// d's own line or on the line directly above it.
+func (idx *suppressionIndex) covers(d Diag) bool {
+	for _, line := range []int{d.Line, d.Line - 1} {
+		for _, pass := range idx.byLine[supKey{d.File, line}] {
+			if pass == d.Pass {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+// The benchallocs pass. The hot packages' benchmarks are the proof
+// the zero-allocation claims rest on — but -benchmem only prints
+// allocs/op when asked, and a benchmark that forgets b.ReportAllocs()
+// silently stops witnessing regressions in default runs. Every
+// func Benchmark* in a hot package must therefore call ReportAllocs
+// somewhere in its body (sub-benchmark closures included).
+//
+// The pass is purely syntactic and runs over the _test.go files the
+// loader parses but does not type-check.
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DefaultHotBenchPackages are the module-relative package paths whose
+// benchmarks guard the engine's zero-alloc hot paths.
+var DefaultHotBenchPackages = []string{
+	"internal/dag",
+	"internal/heur",
+	"internal/sched",
+	"internal/engine",
+	"internal/bitset",
+}
+
+// HotBenchPackages is the active list; tests override it to point at
+// testdata.
+var HotBenchPackages = DefaultHotBenchPackages
+
+func runBenchAllocs(ctx *Context) []Diag {
+	var diags []Diag
+	for _, pkg := range ctx.Pkgs {
+		suffix := strings.TrimPrefix(strings.TrimPrefix(pkg.Path, ctx.Loader.ModulePath), "/")
+		hot := false
+		for _, h := range HotBenchPackages {
+			if suffix == h {
+				hot = true
+			}
+		}
+		if !hot {
+			continue
+		}
+		for _, f := range pkg.TestFiles {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !isBenchmarkDecl(fd) {
+					continue
+				}
+				if !callsReportAllocs(fd.Body) {
+					diags = append(diags, ctx.diag(fd.Name.Pos(), "benchallocs",
+						"%s does not call b.ReportAllocs(); hot-package benchmarks must report allocations", fd.Name.Name))
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// isBenchmarkDecl matches func BenchmarkX(b *testing.B) syntactically.
+func isBenchmarkDecl(fd *ast.FuncDecl) bool {
+	if fd.Recv != nil || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Benchmark") {
+		return false
+	}
+	params := fd.Type.Params
+	if params == nil || len(params.List) != 1 {
+		return false
+	}
+	star, ok := params.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "B" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "testing"
+}
+
+// callsReportAllocs reports whether any call to a method named
+// ReportAllocs appears in body, including inside sub-benchmark
+// closures.
+func callsReportAllocs(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "ReportAllocs" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,351 @@
+// The guardedby pass. A struct field annotated
+//
+//	m map[uint64]*entry //sched:guarded-by mu
+//
+// may only be read or written while the sibling mutex field mu is
+// locked on the same access path: an access s.m requires an earlier
+// s.mu.Lock() (or RLock) on every path that reaches it. The schedule
+// cache's sharded stripes are the motivating case — each shard's map
+// is private to its stripe mutex, and nothing but convention enforced
+// that before this pass.
+//
+// The check is a conservative structural walk, not a full CFG
+// analysis: a Lock() marks its base path locked for the remainder of
+// the enclosing statement list; branch bodies inherit the state but
+// contribute nothing back (a lock taken inside an if does not count
+// after it); function literals are checked with an empty lock set
+// (they may run later, on another goroutine); deferred Unlocks do not
+// clear the state. Accesses through a variable freshly constructed in
+// the same function (c := &cache{...}; c.shard.m = ...) are exempt —
+// an object is publication-free until it escapes, which is exactly how
+// constructors initialize guarded fields.
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// emptyFset renders expressions without real position information,
+// which is all exprString needs.
+var emptyFset = token.NewFileSet()
+
+// guardedField is one //sched:guarded-by annotation.
+type guardedField struct {
+	mu string // sibling mutex field name
+}
+
+func runGuardedBy(ctx *Context) []Diag {
+	var diags []Diag
+	guarded := make(map[*types.Var]guardedField)
+	for _, pkg := range ctx.Pkgs {
+		ctx.collectGuarded(pkg, guarded, &diags)
+	}
+	if len(guarded) == 0 {
+		return diags
+	}
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					ctx.checkGuarded(pkg, fd, guarded, &diags)
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// collectGuarded gathers annotated fields and validates that the named
+// mutex is a sync.Mutex/RWMutex sibling in the same struct.
+func (ctx *Context) collectGuarded(pkg *Package, guarded map[*types.Var]guardedField, diags *[]Diag) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			siblings := make(map[string]types.Type)
+			for _, field := range st.Fields.List {
+				t := pkg.Info.Types[field.Type].Type
+				for _, name := range field.Names {
+					siblings[name.Name] = t
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardedByMutex(field)
+				if mu == "" {
+					continue
+				}
+				mt, ok := siblings[mu]
+				if !ok {
+					*diags = append(*diags, ctx.diag(field.Pos(), "guardedby",
+						"//sched:guarded-by names %s, which is not a sibling field", mu))
+					continue
+				}
+				if !isMutexType(mt) {
+					*diags = append(*diags, ctx.diag(field.Pos(), "guardedby",
+						"//sched:guarded-by names %s, which is not a sync.Mutex or sync.RWMutex", mu))
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = guardedField{mu: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// checkGuarded walks fd, tracking which mutex paths are held, and
+// flags guarded-field accesses outside their lock.
+func (ctx *Context) checkGuarded(pkg *Package, fd *ast.FuncDecl, guarded map[*types.Var]guardedField, diags *[]Diag) {
+	info := pkg.Info
+	fresh := freshLocals(info, fd)
+
+	var funcLits []*ast.FuncLit
+
+	// checkExpr inspects an expression (or whole non-block statement)
+	// for guarded accesses, skipping nested function literals.
+	var checkExpr func(n ast.Node, locked map[string]bool)
+	checkExpr = func(n ast.Node, locked map[string]bool) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.FuncLit); ok {
+				funcLits = append(funcLits, lit)
+				return false
+			}
+			sel, ok := m.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			gf, ok := guarded[v]
+			if !ok {
+				return true
+			}
+			if root := rootIdent(sel.X); root != nil {
+				obj := info.Uses[root]
+				if obj == nil {
+					obj = info.Defs[root]
+				}
+				if v, ok := obj.(*types.Var); ok && fresh[v] {
+					return true // pre-publication initialization
+				}
+			}
+			base := exprString(sel.X)
+			if !locked[base+"."+gf.mu] {
+				*diags = append(*diags, ctx.diag(sel.Sel.Pos(), "guardedby",
+					"%s.%s accessed without holding %s.%s", base, sel.Sel.Name, base, gf.mu))
+			}
+			return true
+		})
+	}
+
+	var walkStmts func(stmts []ast.Stmt, locked map[string]bool)
+	var walkStmt func(s ast.Stmt, locked map[string]bool)
+	copyLocked := func(locked map[string]bool) map[string]bool {
+		c := make(map[string]bool, len(locked))
+		for k, v := range locked {
+			c[k] = v
+		}
+		return c
+	}
+	walkStmt = func(s ast.Stmt, locked map[string]bool) {
+		switch s := s.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			walkStmts(s.List, locked)
+		case *ast.ExprStmt:
+			if key, op, ok := lockOp(s.X); ok {
+				checkExpr(s.X, locked) // the mutex path itself may contain guarded accesses (indexes)
+				if op == "Lock" || op == "RLock" {
+					locked[key] = true
+				} else {
+					delete(locked, key)
+				}
+				return
+			}
+			checkExpr(s.X, locked)
+		case *ast.DeferStmt:
+			if _, op, ok := lockOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				return // releases at function exit; state unchanged until then
+			}
+			checkExpr(s.Call, locked)
+		case *ast.IfStmt:
+			walkStmt(s.Init, locked)
+			checkExpr(s.Cond, locked)
+			walkStmt(s.Body, copyLocked(locked))
+			walkStmt(s.Else, copyLocked(locked))
+		case *ast.ForStmt:
+			walkStmt(s.Init, locked)
+			checkExpr(s.Cond, locked)
+			inner := copyLocked(locked)
+			walkStmt(s.Body, inner)
+			if s.Post != nil {
+				walkStmt(s.Post, inner)
+			}
+		case *ast.RangeStmt:
+			checkExpr(s.X, locked)
+			walkStmt(s.Body, copyLocked(locked))
+		case *ast.SwitchStmt:
+			walkStmt(s.Init, locked)
+			checkExpr(s.Tag, locked)
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CaseClause); ok {
+					inner := copyLocked(locked)
+					for _, e := range c.List {
+						checkExpr(e, inner)
+					}
+					walkStmts(c.Body, inner)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			walkStmt(s.Init, locked)
+			walkStmt(s.Assign, locked)
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CaseClause); ok {
+					walkStmts(c.Body, copyLocked(locked))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CommClause); ok {
+					inner := copyLocked(locked)
+					walkStmt(c.Comm, inner)
+					walkStmts(c.Body, inner)
+				}
+			}
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt, locked)
+		default:
+			checkExpr(s, locked)
+		}
+	}
+	walkStmts = func(stmts []ast.Stmt, locked map[string]bool) {
+		for _, s := range stmts {
+			walkStmt(s, locked)
+		}
+	}
+
+	walkStmts(fd.Body.List, make(map[string]bool))
+	// Function literals run at an unknown time, possibly on another
+	// goroutine: check them against an empty lock set.
+	for i := 0; i < len(funcLits); i++ {
+		walkStmts(funcLits[i].Body.List, make(map[string]bool))
+	}
+}
+
+// lockOp recognizes <path>.Lock/Unlock/RLock/RUnlock() calls and
+// returns the rendered mutex path and the operation.
+func lockOp(e ast.Expr) (key, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return exprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// freshLocals returns the local variables initialized from a composite
+// literal, &composite literal, or new(...) in fd — objects that cannot
+// yet be shared with another goroutine.
+func freshLocals(info *types.Info, fd *ast.FuncDecl) map[*types.Var]bool {
+	fresh := make(map[*types.Var]bool)
+	isFreshExpr := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return e.Op == token.AND && ok
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					return b.Name() == "new"
+				}
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || !isFreshExpr(n.Rhs[i]) {
+					continue
+				}
+				if v, ok := info.Defs[id].(*types.Var); ok {
+					fresh[v] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) != len(n.Names) {
+				return true
+			}
+			for i, name := range n.Names {
+				if !isFreshExpr(n.Values[i]) {
+					continue
+				}
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					fresh[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// exprString renders simple base-path expressions (s, c.shards[i],
+// (*p).f) textually so two syntactically identical paths compare
+// equal.
+func exprString(e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, emptyFset, e); err != nil {
+		return "?"
+	}
+	return strings.Join(strings.Fields(b.String()), "")
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus the syntax-only
+// parse of its _test.go files (test files are excluded from type
+// checking so external test packages and testing-only imports cannot
+// perturb the module's type graph; the only pass that reads them,
+// benchallocs, is purely syntactic).
+type Package struct {
+	Path      string      // import path within the module
+	Dir       string      // absolute directory
+	Files     []*ast.File // non-test files, type-checked
+	TestFiles []*ast.File // _test.go files, syntax only
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Loader loads and type-checks the packages of one Go module using
+// only the standard library: module-internal imports are resolved by
+// directory layout (import path = module path + relative dir), and
+// everything else (the standard library) is delegated to go/importer's
+// source importer. All packages share one token.FileSet so positions
+// are comparable across the whole run.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+
+	std  types.Importer
+	pkgs map[string]*Package // keyed by import path
+}
+
+// NewLoader returns a loader rooted at the module containing dir
+// (found by walking up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modPath,
+		ModuleDir:  root,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+	}, nil
+}
+
+// Import implements types.Importer: module-internal paths load through
+// the loader, everything else through the standard-library source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadPath loads the module package with the given import path.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	return l.LoadDir(filepath.Join(l.ModuleDir, filepath.FromSlash(rel)))
+}
+
+// LoadDir loads and type-checks the package in dir (memoized). dir may
+// be anywhere under the module, including testdata trees the go tool
+// itself ignores.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleDir)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	l.pkgs[path] = nil // cycle guard
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var names, testNames []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testNames = append(testNames, name)
+		} else {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(testNames)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", abs)
+	}
+
+	pkg := &Package{Path: path, Dir: abs}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	for _, name := range testNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.TestFiles = append(pkg.TestFiles, f)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Expand resolves command-line package patterns relative to the module
+// root into package directories. Supported forms: "./...", "dir/...",
+// and plain directories. testdata trees and hidden directories are
+// skipped by the recursive forms, matching the go tool.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		rec := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			rec = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(l.ModuleDir, base)
+		}
+		if !rec {
+			if hasGoFiles(base) {
+				add(base)
+			} else {
+				return nil, fmt.Errorf("analysis: no Go files in %s", pat)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package benchallocs
+
+import "testing"
+
+func BenchmarkMissing(b *testing.B) { // want [benchallocs] BenchmarkMissing does not call b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = i * i
+	}
+}
+
+func BenchmarkHas(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = i * i
+	}
+}
+
+// BenchmarkSubs calls ReportAllocs inside b.Run closures; the pass
+// accepts any call in the body.
+func BenchmarkSubs(b *testing.B) {
+	b.Run("case", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = i + i
+		}
+	})
+}
+
+// BenchmarkSuppressed documents why it skips the call.
+//
+//sched:lint-ignore benchallocs measures wall time of an external process, allocs are noise
+func BenchmarkSuppressed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+// TestNotABenchmark must be ignored by the pass entirely.
+func TestNotABenchmark(t *testing.T) {}

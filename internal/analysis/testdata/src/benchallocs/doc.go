@@ -1,0 +1,5 @@
+// Package benchallocs seeds the benchallocs pass: Benchmark functions
+// in hot packages must call b.ReportAllocs() so allocation regressions
+// show up in benchmark output. The test harness adds this directory to
+// HotBenchPackages before running the pass.
+package benchallocs

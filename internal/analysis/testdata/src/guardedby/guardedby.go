@@ -1,0 +1,104 @@
+// Seeded violations for the guardedby pass: a striped-cache-shaped
+// struct whose map field is annotated with its stripe mutex.
+package guardedby
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	m  map[int]int //sched:guarded-by mu
+}
+
+type cache struct {
+	shards [4]shard
+}
+
+// Good locks before every access and unlocks after.
+func (s *shard) Good(k int) int {
+	s.mu.Lock()
+	v := s.m[k]
+	s.mu.Unlock()
+	return v
+}
+
+// DeferGood releases at return; the field stays locked in between.
+func (s *shard) DeferGood(k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// Bad reads the guarded field with no lock at all.
+func (s *shard) Bad(k int) int {
+	return s.m[k] // want [guardedby] s.m accessed without holding s.mu
+}
+
+// AfterUnlock touches the field once the lock is gone.
+func (s *shard) AfterUnlock(k int) int {
+	s.mu.Lock()
+	v := s.m[k]
+	s.mu.Unlock()
+	return v + s.m[k] // want [guardedby] s.m accessed without holding s.mu
+}
+
+// BranchLock only locks on one path; the access after the branch is
+// not covered on the other.
+func (s *shard) BranchLock(k, cond int) {
+	if cond > 0 {
+		s.mu.Lock()
+		s.m[k] = cond
+		s.mu.Unlock()
+	}
+	s.m[k] = cond // want [guardedby] s.m accessed without holding s.mu
+}
+
+// WrongStripe locks one shard and touches another: path strings keep
+// the stripes apart.
+func (c *cache) WrongStripe(k int) int {
+	c.shards[0].mu.Lock()
+	defer c.shards[0].mu.Unlock()
+	return c.shards[1].m[k] // want [guardedby] c.shards[1].m accessed without holding c.shards[1].mu
+}
+
+// SameStripe is the striped idiom done right.
+func (c *cache) SameStripe(k int) int {
+	s := &c.shards[k%4]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// NewCache initializes guarded fields before the value can be shared:
+// the freshly-constructed-local exception applies.
+func NewCache() *cache {
+	c := &cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[int]int)
+	}
+	return c
+}
+
+// ClosureEscapes checks function literals against an empty lock set:
+// they may run later, when the lock is long gone.
+func (s *shard) ClosureEscapes(k int) func() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() int {
+		return s.m[k] // want [guardedby] s.m accessed without holding s.mu
+	}
+}
+
+// Suppressed documents a single-goroutine phase.
+func (s *shard) Suppressed(k int) int {
+	//sched:lint-ignore guardedby construction-time access before the cache is published
+	return s.m[k]
+}
+
+type badAnnot struct {
+	n int //sched:guarded-by missing // want [guardedby] names missing, which is not a sibling field
+}
+
+type badMutex struct {
+	lock int
+	n    int //sched:guarded-by lock // want [guardedby] names lock, which is not a sync.Mutex
+}

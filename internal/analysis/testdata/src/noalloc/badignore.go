@@ -1,0 +1,15 @@
+// Malformed suppressions are findings of their own: an invariant
+// exception must name its pass and carry a reason.
+package noalloc
+
+//sched:noalloc
+func badlySuppressed(s []int32, v int32) []int32 {
+	//sched:lint-ignore noalloc
+	return append(s, v) // want [noalloc] append may grow its backing array // want:7 [lint-ignore] suppression for noalloc gives no reason
+}
+
+//sched:noalloc
+func unknownPassSuppressed(s []int32, v int32) []int32 {
+	//sched:lint-ignore nosuchpass because reasons
+	return append(s, v) // want [noalloc] append may grow its backing array // want:13 [lint-ignore] suppression names unknown pass nosuchpass
+}

@@ -1,0 +1,93 @@
+// Seeded violations for the noalloc pass. Every line carrying a
+// "want" comment must produce exactly that diagnostic; lines without
+// one must stay silent.
+package noalloc
+
+import "fmt"
+
+//sched:noalloc
+func allocsDirectly(n int, s string) {
+	a := make([]int, n) // want [noalloc] make allocates
+	p := new(int)       // want [noalloc] new allocates
+	a = append(a, 1)    // want [noalloc] append may grow its backing array
+	t := s + "x"        // want [noalloc] string concatenation allocates
+	b := []byte(s)      // want [noalloc] string conversion allocates
+	l := []int{1, 2}    // want [noalloc] slice literal allocates
+	m := map[int]int{}  // want [noalloc] map literal allocates
+	m[n] = 1            // want [noalloc] map assignment may allocate
+	q := &point{1, 2}   // want [noalloc] &composite literal escapes to the heap
+	fmt.Println(t)      // want [noalloc] call to fmt.Println allocates
+	sink(a, p, b, l, q)
+}
+
+type point struct{ x, y int }
+
+func sink(a []int, p *int, b []byte, l []int, q *point) {}
+
+//sched:noalloc
+func allocsTransitively(n int) {
+	helper(n)
+}
+
+// helper is not annotated itself: it is rejected because the
+// annotated allocsTransitively statically calls it.
+func helper(n int) []int {
+	return make([]int, n) // want [noalloc] make allocates
+}
+
+//sched:noalloc
+func boxes(n int) {
+	var i interface{}
+	i = n              // want [noalloc] assigning non-pointer value to interface boxes it
+	takes(point{1, 2}) // want [noalloc] passing non-pointer value as interface boxes it
+	_ = i
+}
+
+func takes(v interface{}) { _ = v }
+
+//sched:noalloc
+func closures() {
+	f := func() int { return 1 } // local: may stay on the stack
+	_ = f()
+	runs(func() {}) // want [noalloc] function literal passed as argument allocates its closure
+	go func() {}()  // want [noalloc] goroutine closure allocates // want [noalloc] go statement allocates a goroutine
+}
+
+func runs(f func()) { f() }
+
+// capGuarded is the exempt idiom: the allocation is the growth arm of
+// a capacity check, which the steady-state path never takes.
+//
+//sched:noalloc
+func capGuarded(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// clean performs no allocating constructs at all.
+//
+//sched:noalloc
+func clean(s []int32) int32 {
+	var sum int32
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}
+
+// suppressed documents its one allocation; the lint-ignore keeps the
+// pass quiet and the reason keeps the reviewer informed.
+//
+//sched:noalloc
+func suppressed(s []int32, v int32) []int32 {
+	//sched:lint-ignore noalloc amortized growth, capacity retained by the caller
+	return append(s, v)
+}
+
+// notAnnotated may allocate freely: no annotation, no closure
+// membership (nothing annotated calls it).
+func notAnnotated(n int) []int {
+	return make([]int, n)
+}

@@ -360,6 +360,7 @@ func BenchmarkOr(b *testing.B) {
 		a.Set(rng.Intn(4096))
 		c.Set(rng.Intn(4096))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.Or(c)
@@ -371,6 +372,7 @@ func BenchmarkCount(b *testing.B) {
 	for i := 0; i < 16384; i += 3 {
 		a.Set(i)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = a.Count()

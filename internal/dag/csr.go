@@ -79,8 +79,10 @@ func (c *CSR) freeze(d *DAG) {
 	c.predArcs = growArcs(c.predArcs, d.NumArcs)
 	for i := 0; i < n; i++ {
 		c.succOff[i] = int32(len(c.succArcs))
+		//sched:lint-ignore noalloc growArcs reserved capacity for all NumArcs arcs above
 		c.succArcs = append(c.succArcs, d.Nodes[i].Succs...)
 		c.predOff[i] = int32(len(c.predArcs))
+		//sched:lint-ignore noalloc growArcs reserved capacity for all NumArcs arcs above
 		c.predArcs = append(c.predArcs, d.Nodes[i].Preds...)
 	}
 	c.succOff[n] = int32(len(c.succArcs))
@@ -93,6 +95,8 @@ func (c *CSR) freeze(d *DAG) {
 // the view is immutable and shares the DAG's lifetime — for
 // arena-owned DAGs it is invalidated by the arena's next
 // ResetFor/BuildInto, which also recycles the CSR's storage.
+//
+//sched:noalloc
 func (d *DAG) Freeze() *CSR {
 	if !d.csr.frozen {
 		d.csr.freeze(d)

@@ -49,7 +49,7 @@ type cacheEntry struct {
 
 type cacheShard struct {
 	mu sync.Mutex
-	m  map[uint64]*cacheEntry
+	m  map[uint64]*cacheEntry //sched:guarded-by mu
 }
 
 // schedCache is the sharded, bounded schedule cache.
@@ -81,6 +81,8 @@ func (c *schedCache) shard(h uint64) *cacheShard {
 
 // lookup returns the entry for (h, key), or nil. The full encoding is
 // compared, so a hash collision reads as a miss, never as a wrong hit.
+//
+//sched:noalloc
 func (c *schedCache) lookup(h uint64, key []byte) *cacheEntry {
 	s := c.shard(h)
 	s.mu.Lock()
@@ -98,6 +100,8 @@ func (c *schedCache) lookup(h uint64, key []byte) *cacheEntry {
 // concurrent worker winning the race on the same block), the existing
 // entry is kept: first wins, and correctness never depends on an
 // insert landing because hits re-verify the full key.
+//
+//sched:noalloc
 func (c *schedCache) insert(h uint64, e *cacheEntry) {
 	s := c.shard(h)
 	s.mu.Lock()
@@ -105,6 +109,7 @@ func (c *schedCache) insert(h uint64, e *cacheEntry) {
 		clear(s.m)
 	}
 	if _, exists := s.m[h]; !exists {
+		//sched:lint-ignore noalloc map insert is the cache's one sanctioned allocation, bounded by perShard and amortized across hits
 		s.m[h] = e
 	}
 	s.mu.Unlock()

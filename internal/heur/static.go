@@ -209,6 +209,8 @@ func (a *Annot) ComputeBackward() {
 // It fills exactly the annotations FusedBackward with ComputeLocals
 // fills (MaxPathToLeaf, MaxDelayToLeaf, ExecTime, InterlockChild,
 // SumDelayChild, MaxDelayChild), with identical values.
+//
+//sched:noalloc
 func (a *Annot) ComputeFusedCSR() {
 	c := a.D.Freeze()
 	n := a.D.Len()

@@ -29,6 +29,8 @@ func Forward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Selector) *Result 
 // candidate list and the pinned-tail hold list from the caller-
 // provided buffers, and returns them (possibly regrown) so reusable
 // callers can retain the capacity.
+//
+//sched:noalloc
 func forwardLoop(s *State, sel Selector, forcedLast []bool, cands, held []int32) ([]int32, []int32) {
 	d := s.D
 	n := int32(d.Len())
@@ -39,8 +41,10 @@ func forwardLoop(s *State, sel Selector, forcedLast []bool, cands, held []int32)
 	// fpppp-sized blocks of Section 6 cannot afford.
 	admit := func(i int32) {
 		if forcedLast[i] {
+			//sched:lint-ignore noalloc amortized: hold-list capacity is retained across blocks by the caller
 			held = append(held, i)
 		} else {
+			//sched:lint-ignore noalloc amortized: candidate-list capacity is retained across blocks by the caller
 			cands = append(cands, i)
 		}
 	}
@@ -105,11 +109,13 @@ type Scratch struct {
 }
 
 // Forward is the reuse-aware equivalent of the package-level Forward.
+//
+//sched:noalloc
 func (sc *Scratch) Forward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Selector) *Result {
 	s := &sc.state
 	s.reset(d, m, a)
 	sc.forced = pinnedTailInto(buf.Bool(sc.forced, d.Len()), d)
-	if sc.cands == nil {
+	if cap(sc.cands) == 0 {
 		sc.cands = make([]int32, 0, 16)
 	}
 	sc.cands, sc.held = forwardLoop(s, sel, sc.forced, sc.cands[:0], sc.held[:0])
@@ -119,6 +125,8 @@ func (sc *Scratch) Forward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Sele
 
 // place issues node pick at the earliest legal cycle and updates every
 // dynamic heuristic input.
+//
+//sched:noalloc
 func (s *State) place(pick int32) {
 	in := s.D.Nodes[pick].Inst
 	class := in.Class()
@@ -143,6 +151,7 @@ func (s *State) place(pick int32) {
 	s.usedGroups |= 1 << group
 	s.issue[pick] = at
 	s.scheduled[pick] = true
+	//sched:lint-ignore noalloc reset pre-sizes order to cap >= n, so n appends never grow it
 	s.order = append(s.order, pick)
 	s.last = pick
 	// Occupy a function unit.

@@ -115,7 +115,7 @@ func (s *State) reset(d *dag.DAG, m *machine.Model, a *heur.Annot) {
 			s.issue[i] = -1
 		}
 	}
-	if s.unitBusy == nil {
+	if cap(s.unitBusy) < isa.NumClasses {
 		s.unitBusy = make([][]int32, isa.NumClasses)
 	}
 	for c := 0; c < isa.NumClasses; c++ {

@@ -1,5 +1,7 @@
 #!/bin/sh
-# CI gate: vet, build, the full test suite under the race detector
+# CI gate: vet, the schedlint static-analysis suite (zero-alloc,
+# arena-lifetime, lock-discipline and benchmark-hygiene invariants;
+# see DESIGN.md §7), build, the full test suite under the race detector
 # (which exercises the batch engine's 8-worker determinism test for
 # data races between worker arenas), the cache-enabled determinism
 # test re-run under -race at count=3 (eight workers racing lookups,
@@ -12,6 +14,9 @@ cd "$(dirname "$0")/.."
 
 echo "== go vet"
 go vet ./...
+
+echo "== schedlint"
+go run ./cmd/schedlint ./...
 
 echo "== go build"
 go build ./...
