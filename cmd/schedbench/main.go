@@ -9,6 +9,7 @@
 //	           [-model pipe1|fpu|asym|super2] [-runs 5] [-bench name]
 //	schedbench -parallel [-workers N] [-builder tableb|tablef]
 //	           [-verify] [-csr=bool] [-cache=bool]
+//	           [-adaptive=bool] [-crossover N] [-chunk N]
 //	           [-json BENCH_engine.json]
 //
 // With no table flags, -all is assumed. As in the paper, Table 4 stops
@@ -21,6 +22,14 @@
 // and once by an N-worker pool, both warmed so the measurement sees
 // the steady (allocation-free) state, and the per-benchmark engine
 // statistics are written as JSON.
+//
+// With -adaptive (the default) the N-worker engine uses adaptive
+// builder dispatch and size-binned distribution, a third fixed-
+// pipeline engine (DisableAdaptive) is raced against it to report the
+// adaptive speedup, a pooled "mixed" corpus of every benchmark's
+// blocks is appended, and each benchmark's per-size-bin breakdown is
+// printed and recorded. -crossover and -chunk pass through to
+// engine.Config (0 = calibrate / default).
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"os"
 	"strings"
 
+	"daginsched/internal/block"
 	"daginsched/internal/engine"
 	"daginsched/internal/machine"
 	"daginsched/internal/tables"
@@ -37,27 +47,30 @@ import (
 
 func main() {
 	var (
-		t3      = flag.Bool("table3", false, "print Table 3 (structural data)")
-		t4      = flag.Bool("table4", false, "print Table 4 (n**2 approach)")
-		t5      = flag.Bool("table5", false, "print Table 5 (table-building approaches)")
-		fig1    = flag.Bool("fig1", false, "print the Figure 1 demonstration")
-		quality = flag.Bool("quality", false, "print the cross-algorithm quality comparison")
-		optim   = flag.Bool("optimality", false, "print the branch-and-bound optimality study (future work 1)")
-		winners = flag.Bool("winners", false, "print the best-algorithm-by-block-size study (future work 2)")
-		scaling = flag.Bool("scaling", false, "print the DAG-construction scaling study (single growing block)")
-		ablate  = flag.Bool("ablate", false, "print the per-rank heuristic ablation study")
-		maxBB   = flag.Int("maxbb", 12, "block-size cap for the optimality study")
-		all     = flag.Bool("all", false, "print everything")
-		model   = flag.String("model", "pipe1", "machine model (pipe1, fpu, asym, super2)")
-		runs    = flag.Int("runs", 5, "timing runs to average (the paper used five)")
-		bench   = flag.String("bench", "", "restrict to one benchmark (prefix match)")
-		par     = flag.Bool("parallel", false, "benchmark the parallel batch engine")
-		workers = flag.Int("workers", 0, "engine worker-pool size for -parallel (0 = GOMAXPROCS)")
-		builder = flag.String("builder", "tableb", "engine construction pipeline for -parallel (tableb, tablef)")
-		verify  = flag.Bool("verify", false, "cross-check every engine schedule on the scoreboard simulator")
-		csr     = flag.Bool("csr", true, "use the frozen flat-adjacency (CSR) hot path for -parallel")
-		cache   = flag.Bool("cache", true, "enable the block-fingerprint schedule cache for -parallel")
-		jsonOut = flag.String("json", "BENCH_engine.json", "file for -parallel engine statistics JSON")
+		t3       = flag.Bool("table3", false, "print Table 3 (structural data)")
+		t4       = flag.Bool("table4", false, "print Table 4 (n**2 approach)")
+		t5       = flag.Bool("table5", false, "print Table 5 (table-building approaches)")
+		fig1     = flag.Bool("fig1", false, "print the Figure 1 demonstration")
+		quality  = flag.Bool("quality", false, "print the cross-algorithm quality comparison")
+		optim    = flag.Bool("optimality", false, "print the branch-and-bound optimality study (future work 1)")
+		winners  = flag.Bool("winners", false, "print the best-algorithm-by-block-size study (future work 2)")
+		scaling  = flag.Bool("scaling", false, "print the DAG-construction scaling study (single growing block)")
+		ablate   = flag.Bool("ablate", false, "print the per-rank heuristic ablation study")
+		maxBB    = flag.Int("maxbb", 12, "block-size cap for the optimality study")
+		all      = flag.Bool("all", false, "print everything")
+		model    = flag.String("model", "pipe1", "machine model (pipe1, fpu, asym, super2)")
+		runs     = flag.Int("runs", 5, "timing runs to average (the paper used five)")
+		bench    = flag.String("bench", "", "restrict to one benchmark (prefix match)")
+		par      = flag.Bool("parallel", false, "benchmark the parallel batch engine")
+		workers  = flag.Int("workers", 0, "engine worker-pool size for -parallel (0 = GOMAXPROCS)")
+		builder  = flag.String("builder", "tableb", "engine construction pipeline for -parallel (tableb, tablef)")
+		verify   = flag.Bool("verify", false, "cross-check every engine schedule on the scoreboard simulator")
+		csr      = flag.Bool("csr", true, "use the frozen flat-adjacency (CSR) hot path for -parallel")
+		cache    = flag.Bool("cache", true, "enable the block-fingerprint schedule cache for -parallel")
+		adaptive = flag.Bool("adaptive", true, "use adaptive builder dispatch + binned distribution for -parallel, racing a fixed-pipeline engine")
+		cross    = flag.Int("crossover", 0, "adaptive n² size threshold for -parallel (0 = calibrate, <0 = never)")
+		chunk    = flag.Int("chunk", 0, "small-block chunk size per atomic fetch for -parallel (0 = default)")
+		jsonOut  = flag.String("json", "BENCH_engine.json", "file for -parallel engine statistics JSON")
 	)
 	flag.Parse()
 	if !*t3 && !*t4 && !*t5 && !*fig1 && !*quality && !*optim && !*winners && !*scaling && !*ablate && !*par {
@@ -148,7 +161,11 @@ func main() {
 		fmt.Println(tables.WinnersBySize(wsets, m))
 	}
 	if *par {
-		if err := runParallel(sets, m, *model, *workers, *builder, *verify, *csr, *cache, *jsonOut); err != nil {
+		cfg := parallelConfig{
+			workers: *workers, builder: *builder, verify: *verify, csr: *csr,
+			cache: *cache, adaptive: *adaptive, crossover: *cross, chunk: *chunk,
+		}
+		if err := runParallel(sets, m, *model, cfg, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "schedbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -169,6 +186,13 @@ type engineReport struct {
 	HitRate        float64      `json:"hit_rate"`
 	DeltaP50Micros float64      `json:"delta_p50_micros"`
 	DeltaP99Micros float64      `json:"delta_p99_micros"`
+	// Fixed is the warm run of the fixed-pipeline engine raced against
+	// the adaptive one (only under -adaptive), and AdaptiveSpeedup is
+	// fixed wall over adaptive wall — above 1 means adaptive dispatch
+	// plus binned distribution beat the fixed per-block-grab pipeline.
+	// Its cold/warm p50/p99 sit alongside Parallel's for comparison.
+	Fixed           *engine.Stats `json:"fixed,omitempty"`
+	AdaptiveSpeedup float64       `json:"adaptive_speedup,omitempty"`
 }
 
 // engineFile is the BENCH_engine.json document.
@@ -178,37 +202,76 @@ type engineFile struct {
 	Workers    int            `json:"workers"`
 	CSR        bool           `json:"csr"`
 	Cache      bool           `json:"cache"`
+	Adaptive   bool           `json:"adaptive"`
+	Crossover  int            `json:"crossover,omitempty"`
+	ChunkSize  int            `json:"chunk_size,omitempty"`
 	Benchmarks []engineReport `json:"benchmarks"`
 }
 
+// parallelConfig carries the -parallel flag group.
+type parallelConfig struct {
+	workers   int
+	builder   string
+	verify    bool
+	csr       bool
+	cache     bool
+	adaptive  bool
+	crossover int
+	chunk     int
+}
+
 // runParallel benchmarks the batch engine over every set: a warmed
-// single-worker run against a warmed N-worker run, printed as a table
-// and written as JSON. Speedup is hardware-dependent — it tracks the
-// machine's physical core count, not the configured worker count.
-func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string, workers int, builder string, verify, csr, cache bool, jsonPath string) error {
-	mk := func(w int) (*engine.Engine, error) {
+// single-worker run against a warmed N-worker run (and, under
+// -adaptive, a warmed fixed-pipeline N-worker run raced against the
+// adaptive one), printed as a table and written as JSON. Speedup is
+// hardware-dependent — it tracks the machine's physical core count,
+// not the configured worker count.
+func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string, cfg parallelConfig, jsonPath string) error {
+	mk := func(w int, disableAdaptive bool) (*engine.Engine, error) {
 		return engine.New(engine.Config{
-			Workers: w, Model: m, Builder: builder, Verify: verify,
-			DisableCSR: !csr, Cache: cache,
+			Workers: w, Model: m, Builder: cfg.builder, Verify: cfg.verify,
+			DisableCSR: !cfg.csr, Cache: cfg.cache,
+			DisableAdaptive: disableAdaptive, Crossover: cfg.crossover, ChunkSize: cfg.chunk,
 		})
 	}
-	serial, err := mk(1)
+	serial, err := mk(1, !cfg.adaptive)
 	if err != nil {
 		return err
 	}
-	parallel, err := mk(workers)
+	parallel, err := mk(cfg.workers, !cfg.adaptive)
 	if err != nil {
 		return err
+	}
+	var fixedPar *engine.Engine
+	if cfg.adaptive {
+		if fixedPar, err = mk(cfg.workers, true); err != nil {
+			return err
+		}
+		// The pooled mixed corpus is the adaptive dispatch's home turf:
+		// tiny spice-like blocks riding alongside windowed fpppp giants.
+		var mixed []*block.Block
+		for _, set := range sets {
+			mixed = append(mixed, set.Blocks...)
+		}
+		sets = append(sets, tables.BenchmarkSet{Name: "mixed", Blocks: mixed})
 	}
 
-	fmt.Printf("Parallel batch engine: builder %s, %d workers, model %s, csr %v, cache %v\n\n",
-		builder, parallel.Workers(), modelName, csr, cache)
-	fmt.Printf("%-12s %8s %8s %14s %14s %8s %9s %9s %7s\n",
+	fmt.Printf("Parallel batch engine: builder %s, %d workers, model %s, csr %v, cache %v, adaptive %v (crossover %d)\n\n",
+		cfg.builder, parallel.Workers(), modelName, cfg.csr, cfg.cache, cfg.adaptive, parallel.Crossover())
+	adaptCol := ""
+	if cfg.adaptive {
+		adaptCol = "   adapt"
+	}
+	fmt.Printf("%-12s %8s %8s %14s %14s %8s %9s %9s %7s%s\n",
 		"benchmark", "#blocks", "#insts", "serial blk/s", "parallel blk/s",
-		"speedup", "p50(us)", "p99(us)", "hit%")
-	fmt.Println(strings.Repeat("-", 98))
+		"speedup", "p50(us)", "p99(us)", "hit%", adaptCol)
+	fmt.Println(strings.Repeat("-", 98+len(adaptCol)))
 
-	doc := engineFile{Model: modelName, Builder: builder, Workers: parallel.Workers(), CSR: csr, Cache: cache}
+	doc := engineFile{
+		Model: modelName, Builder: cfg.builder, Workers: parallel.Workers(),
+		CSR: cfg.csr, Cache: cfg.cache, Adaptive: cfg.adaptive,
+		Crossover: parallel.Crossover(), ChunkSize: parallel.ChunkSize(),
+	}
 	for _, set := range sets {
 		// Two runs per engine: the first grows every worker arena (and,
 		// with the cache on, fills it), the second measures the steady
@@ -238,12 +301,31 @@ func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string,
 		if stats[1].WallSeconds > 0 {
 			rep.Speedup = stats[0].WallSeconds / stats[1].WallSeconds
 		}
+		adaptCell := ""
+		if cfg.adaptive {
+			res := new(engine.BatchResult)
+			if _, err := fixedPar.RunInto(res, set.Blocks); err != nil {
+				return fmt.Errorf("%s (fixed): %w", set.Name, err)
+			}
+			if _, err := fixedPar.RunInto(res, set.Blocks); err != nil {
+				return fmt.Errorf("%s (fixed): %w", set.Name, err)
+			}
+			fixed := res.Stats
+			rep.Fixed = &fixed
+			if stats[1].WallSeconds > 0 {
+				rep.AdaptiveSpeedup = fixed.WallSeconds / stats[1].WallSeconds
+			}
+			adaptCell = fmt.Sprintf("  %5.2fx", rep.AdaptiveSpeedup)
+		}
 		doc.Benchmarks = append(doc.Benchmarks, rep)
-		fmt.Printf("%-12s %8d %8d %14.0f %14.0f %7.2fx %9.1f %9.1f %6.1f%%\n",
+		fmt.Printf("%-12s %8d %8d %14.0f %14.0f %7.2fx %9.1f %9.1f %6.1f%%%s\n",
 			set.Name, rep.Parallel.Blocks, rep.Parallel.Insts,
 			rep.Serial.BlocksPerSec, rep.Parallel.BlocksPerSec,
 			rep.Speedup, rep.Parallel.P50Micros, rep.Parallel.P99Micros,
-			rep.HitRate*100)
+			rep.HitRate*100, adaptCell)
+		if cfg.adaptive {
+			printBins(set.Name, rep.Parallel.Bins)
+		}
 	}
 
 	data, err := json.MarshalIndent(&doc, "", "  ")
@@ -256,4 +338,18 @@ func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string,
 	}
 	fmt.Printf("\nengine statistics written to %s\n", jsonPath)
 	return nil
+}
+
+// printBins renders one warm adaptive run's per-size-bin breakdown:
+// which pipeline (n²-direct, table, or cache hit) scheduled each bin's
+// blocks and the bin's share of the summed per-block time.
+func printBins(name string, bins []engine.BinStats) {
+	for _, bin := range bins {
+		if bin.Blocks == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %6s %8d blocks %9d insts  n2 %-6d table %-6d cached %-8d wall %5.1f%%\n",
+			name, bin.Label, bin.Blocks, bin.Insts,
+			bin.N2Blocks, bin.TableBlocks, bin.CachedBlocks, bin.WallShare*100)
+	}
 }

@@ -138,22 +138,33 @@ func TestSmokeSchedbench(t *testing.T) {
 		t.Fatalf("engine JSON not written: %v", err)
 	}
 	var doc struct {
-		Workers    int `json:"workers"`
+		Workers    int  `json:"workers"`
+		Adaptive   bool `json:"adaptive"`
 		Benchmarks []struct {
-			Name     string  `json:"name"`
-			Speedup  float64 `json:"speedup"`
-			Parallel struct {
+			Name            string  `json:"name"`
+			Speedup         float64 `json:"speedup"`
+			AdaptiveSpeedup float64 `json:"adaptive_speedup"`
+			Parallel        struct {
 				Blocks       int     `json:"blocks"`
 				BlocksPerSec float64 `json:"blocks_per_sec"`
+				Bins         []struct {
+					Blocks int64 `json:"blocks"`
+				} `json:"bins"`
 			} `json:"parallel"`
 		} `json:"benchmarks"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatalf("engine JSON malformed: %v\n%s", err, data)
 	}
-	if doc.Workers != 2 || len(doc.Benchmarks) != 1 ||
+	// One selected set plus the pooled "mixed" corpus the adaptive
+	// report appends.
+	if doc.Workers != 2 || !doc.Adaptive || len(doc.Benchmarks) != 2 ||
+		doc.Benchmarks[0].Name != "grep" ||
+		doc.Benchmarks[1].Name != "mixed" ||
 		doc.Benchmarks[0].Parallel.Blocks != 730 ||
-		doc.Benchmarks[0].Parallel.BlocksPerSec <= 0 {
+		doc.Benchmarks[0].Parallel.BlocksPerSec <= 0 ||
+		doc.Benchmarks[0].AdaptiveSpeedup <= 0 ||
+		len(doc.Benchmarks[0].Parallel.Bins) == 0 {
 		t.Errorf("engine JSON contents wrong: %+v", doc)
 	}
 }

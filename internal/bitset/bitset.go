@@ -24,6 +24,7 @@ type Set struct {
 
 // New returns a set with capacity for at least n bits. All bits are clear.
 func New(n int) *Set {
+	//sched:lint-ignore noalloc one-time: noalloc paths call New only behind a nil guard on a recycled slot
 	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
@@ -35,11 +36,11 @@ func (s *Set) grow(i int) {
 	}
 	if need <= cap(s.words) {
 		s.words = s.words[:need]
-		return
+	} else {
+		w := make([]uint64, need, need*2)
+		copy(w, s.words)
+		s.words = w
 	}
-	w := make([]uint64, need, need*2)
-	copy(w, s.words)
-	s.words = w
 }
 
 // Set sets bit i, growing the set if necessary.

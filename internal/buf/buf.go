@@ -31,6 +31,18 @@ func Int64(s []int64, n int) []int64 {
 	return s
 }
 
+// Uint64 returns a zeroed []uint64 of length n, reusing s's capacity.
+func Uint64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // Bool returns a false-filled []bool of length n, reusing s's capacity.
 func Bool(s []bool, n int) []bool {
 	if cap(s) < n {

@@ -45,12 +45,36 @@ func TestInt64AndBool(t *testing.T) {
 	}
 }
 
+func TestUint64(t *testing.T) {
+	s := make([]uint64, 4, 8)
+	for i := range s {
+		s[i] = 7
+	}
+	r := Uint64(s, 6)
+	if len(r) != 6 {
+		t.Fatalf("len = %d, want 6", len(r))
+	}
+	if &r[0] != &s[:1][0] {
+		t.Error("capacity not reused")
+	}
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("r[%d] = %d, want 0", i, v)
+		}
+	}
+	if got := Uint64(r, 32); len(got) != 32 {
+		t.Errorf("grown len = %d, want 32", len(got))
+	}
+}
+
 func TestZeroAllocOnReuse(t *testing.T) {
 	s := make([]int32, 64)
+	u := make([]uint64, 64)
 	allocs := testing.AllocsPerRun(100, func() {
 		s = Int32(s, 64)
+		u = Uint64(u, 64)
 	})
 	if allocs != 0 {
-		t.Errorf("Int32 reuse allocates %.1f/op", allocs)
+		t.Errorf("Int32/Uint64 reuse allocates %.1f/op", allocs)
 	}
 }

@@ -28,6 +28,13 @@ type BuildArena struct {
 	ts tableState
 	ad arcDeduper
 
+	// n2 is the scratch of the n² forward reuse path: one flat arena
+	// holding every node's interned refs (the per-node use/def slices
+	// the pairwise comparison loop replays), its 2n+1 offset array, and
+	// the single-word ancestor masks of BuildCleanInto's transitive-arc
+	// tracking.
+	n2 n2Scratch
+
 	// reach is the flat slab backing the per-node reachability maps
 	// handed to DAGs built with TableBackward{PreventTransitive: true}.
 	// All of a block's maps live in one contiguous word arena (node i's
@@ -82,11 +89,23 @@ func (ar *BuildArena) reachSets(n int) []*bitset.Set {
 	return ar.reach.Carve(n, n)
 }
 
+// n2Scratch is the BuildArena storage of the n² forward reuse path
+// (see n2ForwardInto). refs holds every node's interned uses then defs
+// back to back; off delimits the segments (node i's uses at
+// [off[2i], off[2i+1]), defs at [off[2i+1], off[2i+2])); anc holds the
+// strict-ancestor masks of BuildCleanInto's transitive-arc tracking.
+type n2Scratch struct {
+	refs []ref
+	off  []int32
+	anc  []uint64
+}
+
 // ReuseBuilder is implemented by construction algorithms that support
 // the arena protocol: BuildInto behaves exactly like Build but draws
 // every piece of storage from the arena. The two table-building
-// algorithms implement it; the n² builders do not (the paper's point
-// is that they are not the production path).
+// algorithms implement it, and so does the n² forward builder — the
+// engine's adaptive dispatch runs it on tiny blocks, where the paper
+// shows compare-against-all has the lowest constant factors.
 type ReuseBuilder interface {
 	Builder
 	// BuildInto constructs the DAG inside ar. The returned DAG is

@@ -142,7 +142,9 @@ func (d *DAG) Leaves() []int32 {
 // call it with a == b; callers dedupe via arcDeduper.
 func (d *DAG) addArc(a, b int32, kind DepKind, delay int32) {
 	arc := Arc{From: a, To: b, Kind: kind, Delay: delay}
+	//sched:lint-ignore noalloc amortized: arena-recycled nodes retain their arc-list capacity across blocks
 	d.Nodes[a].Succs = append(d.Nodes[a].Succs, arc)
+	//sched:lint-ignore noalloc amortized: arena-recycled nodes retain their arc-list capacity across blocks
 	d.Nodes[b].Preds = append(d.Nodes[b].Preds, arc)
 	d.NumArcs++
 }
@@ -380,9 +382,11 @@ func (sc *instScratch) extract(in *isa.Inst, rt *resource.Table, node *Node) (us
 	sc.urefs = sc.urefs[:0]
 	sc.drefs = sc.drefs[:0]
 	for _, u := range sc.uses {
+		//sched:lint-ignore noalloc amortized: the ref scratch retains its capacity across blocks
 		sc.urefs = append(sc.urefs, ref{id: rt.RefID(u), slot: u.Slot})
 	}
 	for _, dd := range sc.defs {
+		//sched:lint-ignore noalloc amortized: the ref scratch retains its capacity across blocks
 		sc.drefs = append(sc.drefs, ref{id: rt.RefID(dd), pairSecond: in.PairSecondDef(dd)})
 	}
 	n := rt.NumResources()

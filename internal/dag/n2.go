@@ -3,6 +3,7 @@ package dag
 import (
 	"daginsched/internal/bitset"
 	"daginsched/internal/block"
+	"daginsched/internal/buf"
 	"daginsched/internal/machine"
 	"daginsched/internal/resource"
 )
@@ -77,6 +78,107 @@ func (N2Forward) Build(b *block.Block, m *machine.Model, rt *resource.Table) *DA
 		}
 	}
 	return d
+}
+
+// BuildInto implements ReuseBuilder: identical construction to Build,
+// but the per-node interned refs live in one flat arena segment and
+// every other piece of storage — nodes, arc lists, bit maps — is
+// recycled, so the n² forward builder is a first-class zero-alloc peer
+// of the table builders. The engine's adaptive dispatch uses it for
+// tiny blocks, where the paper's Tables 4–5 show compare-against-all
+// has the lowest constant factors (no per-resource table to reset).
+// The returned DAG is arena-owned.
+//
+//sched:noalloc
+func (t N2Forward) BuildInto(ar *BuildArena, b *block.Block, m *machine.Model, rt *resource.Table) *DAG {
+	d, _ := n2ForwardInto(ar, b, m, rt, false)
+	return d
+}
+
+// N2MaskCap is the largest block BuildCleanInto can track: its
+// per-node ancestor sets are single machine words, which keeps the
+// transitive-arc detection one OR and one AND per arc.
+const N2MaskCap = 64
+
+// BuildCleanInto is BuildInto with exactness tracking: it reports
+// whether the constructed DAG is free of transitive arcs. When clean
+// is true the n² arc set *is* the transitive reduction of the block's
+// dependence relation, and therefore identical — same pairs, same
+// deduped delays — to the arc set either table builder produces (a
+// table builder only ever omits an arc that some retained path
+// covers, and an uncoverable arc is by definition non-transitive).
+// That equality is what lets the engine's adaptive dispatch substitute
+// the n² builder for table building on tiny blocks while guaranteeing
+// byte-identical schedules.
+//
+// Construction aborts as soon as a transitive arc is discovered
+// (returning a nil DAG and clean=false; the arena stays reusable), and
+// blocks larger than N2MaskCap are rejected outright — callers fall
+// back to table building either way.
+//
+//sched:noalloc
+func (t N2Forward) BuildCleanInto(ar *BuildArena, b *block.Block, m *machine.Model, rt *resource.Table) (*DAG, bool) {
+	if len(b.Insts) > N2MaskCap {
+		return nil, false
+	}
+	return n2ForwardInto(ar, b, m, rt, true)
+}
+
+// n2ForwardInto is the shared reuse-path core of BuildInto and
+// BuildCleanInto. With track set, anc[i] accumulates the strict-
+// ancestor mask of node i; an arc j→i is transitive exactly when j is
+// an ancestor of another parent of i, i.e. when the parent mask and
+// the union of the parents' ancestor masks intersect.
+//
+//sched:noalloc
+func n2ForwardInto(ar *BuildArena, b *block.Block, m *machine.Model, rt *resource.Table, track bool) (*DAG, bool) {
+	d := ar.ResetFor(b, "n2f")
+	sc := &ar.sc
+	n2 := &ar.n2
+	n := len(b.Insts)
+	n2.off = buf.Int32(n2.off, 2*n+1)
+	n2.refs = n2.refs[:0]
+	if track {
+		n2.anc = buf.Uint64(n2.anc, n)
+	}
+	for i := 0; i < n; i++ {
+		node := &d.Nodes[i]
+		u, df := sc.extract(node.Inst, rt, node)
+		// Copy the extraction scratch (overwritten next node) into the
+		// flat ref arena: node i's uses at off[2i], defs at off[2i+1].
+		//sched:lint-ignore noalloc amortized: the flat ref arena retains its capacity across blocks
+		n2.refs = append(n2.refs, u...)
+		n2.off[2*i+1] = int32(len(n2.refs))
+		//sched:lint-ignore noalloc amortized: the flat ref arena retains its capacity across blocks
+		n2.refs = append(n2.refs, df...)
+		n2.off[2*i+2] = int32(len(n2.refs))
+		iUses := n2.refs[n2.off[2*i]:n2.off[2*i+1]]
+		iDefs := n2.refs[n2.off[2*i+1]:n2.off[2*i+2]]
+		var parents, covered uint64
+		for j := 0; j < i; j++ {
+			jUses := n2.refs[n2.off[2*j]:n2.off[2*j+1]]
+			jDefs := n2.refs[n2.off[2*j+1]:n2.off[2*j+2]]
+			kind, delay, found := n2Compare(d, m, int32(j), int32(i), jUses, jDefs, iUses, iDefs)
+			if !found {
+				continue
+			}
+			d.addArc(int32(j), int32(i), kind, delay)
+			if track {
+				parents |= 1 << uint(j)
+				covered |= n2.anc[j]
+			}
+		}
+		if track {
+			if parents&covered != 0 {
+				// Some parent j of i is a strict ancestor of another
+				// parent: the arc j→i is transitive. Abort — the caller
+				// rebuilds with a table builder.
+				return nil, false
+			}
+			n2.anc[i] = parents | covered
+		}
+	}
+	return d, true
 }
 
 // N2Backward is the compare-against-all algorithm run as a backward

@@ -68,6 +68,27 @@ type Config struct {
 	// 65536-entry default). A full shard is reset, not evicted LRU —
 	// the bound is a safety valve, not a tuning surface.
 	CacheCap int
+	// Crossover is the adaptive-dispatch size threshold: a block of at
+	// most this many instructions is attempted on the n²-direct
+	// pipeline (compare-against-all construction, no table reset, no
+	// CSR freeze), falling back to table building for that block alone
+	// when the n² DAG is not transitive-free. Zero means measure the
+	// crossover with a one-time calibration probe inside New; a
+	// negative value keeps adaptive distribution and bin statistics but
+	// never routes a block to the n² builder. Values beyond
+	// dag.N2MaskCap are clamped to it.
+	Crossover int
+	// ChunkSize is how many small blocks (at most dag.N2MaskCap insts)
+	// a worker claims per atomic fetch under adaptive distribution;
+	// <= 0 means 32. Large blocks are always claimed one at a time.
+	ChunkSize int
+	// DisableAdaptive restores the fixed pipeline (every block table-
+	// built) and the per-block atomic work grab. Adaptive dispatch is
+	// also implicitly disabled for Builder "tablef" (the n² identity
+	// argument is proven against backward table building) and under
+	// CollectDAGStats (arc *kinds* may legitimately differ between the
+	// builders on equal-delay ties, so ByKind tallies could too).
+	DisableAdaptive bool
 }
 
 // Stats summarizes one batch run; the JSON form is what cmd/schedbench
@@ -90,6 +111,12 @@ type Stats struct {
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Crossover and ChunkSize echo the adaptive-dispatch configuration
+	// in effect for the run, and Bins breaks the run down by block-size
+	// bin. All are zero/empty when adaptive dispatch is off.
+	Crossover int        `json:"crossover,omitempty"`
+	ChunkSize int        `json:"chunk_size,omitempty"`
+	Bins      []BinStats `json:"bins,omitempty"`
 }
 
 // BatchResult is the outcome of one Run, indexed by block position.
@@ -112,6 +139,7 @@ type BatchResult struct {
 	durs       []int64 // per-block wall nanos
 	sorted     []int64 // percentile scratch
 	errs       []error // per-block verify outcome (Verify only)
+	perm       []int32 // adaptive distribution order (size desc)
 }
 
 // worker is one pool member's private scratch: every structure here is
@@ -133,6 +161,10 @@ type worker struct {
 	enc          []byte
 	hits, misses int64
 	hitRes       sched.Result
+
+	// bins are the per-run size-bin tallies under adaptive dispatch,
+	// summed lock-free into Stats.Bins after the pool drains.
+	bins [nBins]binAcc
 }
 
 func newWorker(cfg *Config) *worker {
@@ -164,7 +196,12 @@ func newWorker(cfg *Config) *worker {
 // worker's next block.
 func (w *worker) schedule(b *block.Block, m *machine.Model) (*sched.Result, *dag.DAG) {
 	w.rt.PrepareBlock(b.Insts)
-	d := w.bld.BuildInto(&w.ar, b, m, w.rt)
+	return w.finish(w.bld.BuildInto(&w.ar, b, m, w.rt), m)
+}
+
+// finish runs the post-construction half of the fixed pipeline —
+// heuristics then list scheduling — on a table-built DAG.
+func (w *worker) finish(d *dag.DAG, m *machine.Model) (*sched.Result, *dag.DAG) {
 	if w.csr {
 		// Freeze the DAG into its flat CSR view; the heuristic pass and
 		// the scheduler below both run over the two flat arc arrays.
@@ -179,6 +216,29 @@ func (w *worker) schedule(b *block.Block, m *machine.Model) (*sched.Result, *dag
 	return w.sc.Forward(d, m, w.a, w.sel), d
 }
 
+// scheduleN2 is the n²-direct pipeline of adaptive dispatch: build the
+// block with compare-against-all construction (no per-resource table
+// state to reset) and, when the DAG comes out transitive-free, skip
+// the CSR freeze and schedule straight off the per-node arc lists. A
+// transitive-free n² arc set is identical — same pairs, same deduped
+// delays — to the table builder's, so the schedule is byte-identical
+// to the fixed pipeline's (see dag.N2Forward.BuildCleanInto). Dirty
+// blocks fall back to the fixed pipeline; the resource table is
+// already prepared and interned IDs are stable, so only construction
+// restarts. usedN2 reports which pipeline produced the result.
+func (w *worker) scheduleN2(b *block.Block, m *machine.Model) (r *sched.Result, d *dag.DAG, usedN2 bool) {
+	w.rt.PrepareBlock(b.Insts)
+	nd, clean := dag.N2Forward{}.BuildCleanInto(&w.ar, b, m, w.rt)
+	if !clean {
+		r, d = w.finish(w.bld.BuildInto(&w.ar, b, m, w.rt), m)
+		return r, d, false
+	}
+	w.a.D = nd
+	w.a.ComputeBackward()
+	w.a.ComputeLocal()
+	return w.sc.Forward(nd, m, w.a, w.sel), nd, true
+}
+
 // Engine is a reusable batch scheduler. Create one with New, then call
 // Run (or RunInto) any number of times; workers and their scratch
 // arenas persist across runs, which is what makes repeated batches
@@ -190,6 +250,12 @@ type Engine struct {
 	// Config.Cache). It persists across Run calls, so a corpus that
 	// repeats — or a second run over the same corpus — hits.
 	cache *schedCache
+	// adaptive dispatch state, resolved once in New: whether per-block
+	// builder selection and size-binned distribution are active, the
+	// effective n² size threshold, and the small-block chunk size.
+	adaptive  bool
+	crossover int
+	chunk     int
 }
 
 // New validates cfg and builds the worker pool.
@@ -214,7 +280,37 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Cache {
 		e.cache = newSchedCache(cfg.CacheCap)
 	}
+	e.adaptive = !cfg.DisableAdaptive && cfg.Builder == "tableb" && !cfg.CollectDAGStats
+	if e.adaptive {
+		e.chunk = cfg.ChunkSize
+		if e.chunk <= 0 {
+			e.chunk = defaultChunk
+		}
+		switch {
+		case cfg.Crossover < 0:
+			e.crossover = 0
+		case cfg.Crossover > 0:
+			e.crossover = min(cfg.Crossover, dag.N2MaskCap)
+		default:
+			e.crossover = calibrateCrossover(e.workers[0], cfg.Model)
+		}
+	}
 	return e, nil
+}
+
+// Crossover returns the effective adaptive-dispatch threshold — the
+// configured one after clamping, or the calibrated one when
+// Config.Crossover was zero. It is zero when adaptive dispatch is off.
+func (e *Engine) Crossover() int { return e.crossover }
+
+// ChunkSize returns the effective small-block claim granularity of the
+// adaptive distributor (Config.ChunkSize or the default). It is zero
+// when adaptive dispatch is off.
+func (e *Engine) ChunkSize() int {
+	if !e.adaptive {
+		return 0
+	}
+	return e.chunk
 }
 
 // Workers returns the pool size.
@@ -273,15 +369,22 @@ func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult,
 
 	for _, w := range e.workers {
 		w.hits, w.misses = 0, 0
+		w.bins = [nBins]binAcc{}
 	}
 
 	start := time.Now()
-	if len(e.workers) == 1 {
+	switch {
+	case nb == 0:
+		// Nothing to schedule: leave the stats zeroed and spawn no
+		// workers.
+	case len(e.workers) == 1:
 		w := e.workers[0]
 		for i := range blocks {
 			e.process(w, res, blocks, i)
 		}
-	} else {
+	case e.adaptive:
+		e.runBinned(res, blocks)
+	default:
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for _, w := range e.workers {
@@ -302,7 +405,15 @@ func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult,
 	wall := time.Since(start)
 
 	st := &res.Stats
+	bins := st.Bins[:0] // retain the bin slice's capacity across runs
 	*st = Stats{Workers: len(e.workers), Blocks: nb, WallSeconds: wall.Seconds()}
+	if e.adaptive {
+		st.Crossover = e.crossover
+		st.ChunkSize = e.chunk
+		if nb > 0 {
+			st.Bins = e.collectBins(bins)
+		}
+	}
 	for _, b := range blocks {
 		st.Insts += int64(b.Len())
 	}
@@ -367,11 +478,24 @@ func (e *Engine) process(w *worker, res *BatchResult, blocks []*block.Block, i i
 				res.errs[i] = verify(b, &w.hitRes, e.cfg.Model, w.rt)
 			}
 			res.durs[i] = int64(time.Since(t0))
+			if e.adaptive {
+				w.binAdd(b.Len(), res.durs[i], pathCached)
+			}
 			return
 		}
 		w.misses++
 	}
-	r, d := w.schedule(b, e.cfg.Model)
+	var r *sched.Result
+	var d *dag.DAG
+	path := pathTable
+	if n := b.Len(); e.adaptive && n > 0 && n <= e.crossover {
+		var usedN2 bool
+		if r, d, usedN2 = w.scheduleN2(b, e.cfg.Model); usedN2 {
+			path = pathN2
+		}
+	} else {
+		r, d = w.schedule(b, e.cfg.Model)
+	}
 	res.Cycles[i] = r.Cycles
 	res.Arcs[i] = int32(d.NumArcs)
 	if res.Orders != nil {
@@ -397,6 +521,9 @@ func (e *Engine) process(w *worker, res *BatchResult, blocks []*block.Block, i i
 		res.errs[i] = verify(b, r, e.cfg.Model, w.rt)
 	}
 	res.durs[i] = int64(time.Since(t0))
+	if e.adaptive {
+		w.binAdd(b.Len(), res.durs[i], path)
+	}
 }
 
 // verify re-times the schedule on the scoreboard simulator, which

@@ -198,6 +198,7 @@ func appendReg(dst []ResRef, r Reg, slot uint8) []ResRef {
 	if r == G0 || r == RegNone {
 		return dst
 	}
+	//sched:lint-ignore noalloc amortized: callers pass recycled dst whose capacity is retained across blocks
 	return append(dst, regRef(r, slot))
 }
 
@@ -232,11 +233,13 @@ func (in *Inst) AppendUses(dst []ResRef) []ResRef {
 	case FmtLoad:
 		add(in.Mem.Base, false)
 		add(in.Mem.Index, false)
+		//sched:lint-ignore noalloc amortized: callers pass recycled dst whose capacity is retained across blocks
 		dst = append(dst, ResRef{Kind: RMem, Mem: in.Mem, Slot: slot})
 		if info.pair {
 			// A double-word access touches two memory words; emitting
 			// both keeps "same base, different offset" disambiguation
 			// sound when single- and double-word accesses overlap.
+			//sched:lint-ignore noalloc amortized: callers pass recycled dst whose capacity is retained across blocks
 			dst = append(dst, ResRef{Kind: RMem, Mem: in.Mem.wordAfter(), Slot: slot})
 		}
 		slot++
@@ -261,8 +264,10 @@ func (in *Inst) AppendUses(dst []ResRef) []ResRef {
 	}
 	switch info.cc {
 	case ccUseI:
+		//sched:lint-ignore noalloc amortized: callers pass recycled dst whose capacity is retained across blocks
 		dst = append(dst, ResRef{Kind: RCC, Reg: ICC, Slot: slot})
 	case ccUseF:
+		//sched:lint-ignore noalloc amortized: callers pass recycled dst whose capacity is retained across blocks
 		dst = append(dst, ResRef{Kind: RCC, Reg: FCC, Slot: slot})
 	}
 	if in.Op == RET {
@@ -287,8 +292,10 @@ func (in *Inst) AppendDefs(dst []ResRef) []ResRef {
 	case FmtLoad:
 		dst = appendPair(dst, in.RD, info.pair, 0)
 	case FmtStore:
+		//sched:lint-ignore noalloc amortized: callers pass recycled dst whose capacity is retained across blocks
 		dst = append(dst, ResRef{Kind: RMem, Mem: in.Mem})
 		if info.pair {
+			//sched:lint-ignore noalloc amortized: callers pass recycled dst whose capacity is retained across blocks
 			dst = append(dst, ResRef{Kind: RMem, Mem: in.Mem.wordAfter()})
 		}
 	case FmtFp2, FmtFp3:
@@ -300,12 +307,15 @@ func (in *Inst) AppendDefs(dst []ResRef) []ResRef {
 	}
 	switch info.cc {
 	case ccDefI:
+		//sched:lint-ignore noalloc amortized: callers pass recycled dst whose capacity is retained across blocks
 		dst = append(dst, ResRef{Kind: RCC, Reg: ICC})
 	case ccDefF:
+		//sched:lint-ignore noalloc amortized: callers pass recycled dst whose capacity is retained across blocks
 		dst = append(dst, ResRef{Kind: RCC, Reg: FCC})
 	}
 	switch in.Op {
 	case SMUL, UMUL, SDIV, UDIV:
+		//sched:lint-ignore noalloc amortized: callers pass recycled dst whose capacity is retained across blocks
 		dst = append(dst, ResRef{Kind: RY, Reg: Y})
 	}
 	return dst

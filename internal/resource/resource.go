@@ -249,6 +249,7 @@ func (t *Table) MemID(m isa.MemExpr) ID {
 		return id
 	}
 	id := t.alloc()
+	//sched:lint-ignore noalloc steady-state: the interning map survives PrepareBlock clears, so rewrites reuse its buckets
 	t.memIDs[k] = id
 	return id
 }

@@ -6,8 +6,11 @@
 # data races between worker arenas), the cache-enabled determinism
 # test re-run under -race at count=3 (eight workers racing lookups,
 # first-wins inserts and shard resets against a shared schedule
-# cache), and a one-iteration engine benchmark smoke run that checks
-# the zero-allocation steady state.
+# cache), the adaptive-dispatch identity gate (byte-identical
+# schedules from the adaptive and fixed pipelines at eight workers,
+# under -race), and one-iteration benchmark smoke runs over the
+# engine, DAG-builder and heuristic benchmarks that check the
+# zero-allocation steady state.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,5 +30,11 @@ go test -race ./...
 echo "== engine cache determinism (workers=8, -race)"
 go test -race -run '^TestEngineCacheDeterminism$' -count 3 ./internal/engine
 
+echo "== adaptive dispatch identity (workers=8, -race)"
+go test -race -run '^TestAdaptiveMatchesFixed$' ./internal/engine
+
 echo "== engine bench smoke"
 go test -run '^$' -bench Engine -benchmem -benchtime 1x .
+
+echo "== dag/heur bench smoke"
+go test -run '^$' -bench . -benchmem -benchtime 1x ./internal/dag ./internal/heur
