@@ -12,6 +12,12 @@
 // of Table 2: gibbons-muchnick, krishnamurthy, schlansker,
 // shieh-papachristou, tiemann, warren; plus "optimal" (branch and
 // bound, small blocks only).
+//
+// Exit codes are distinct by failure class so build drivers can
+// dispatch on them: 0 success, 1 runtime failure, 2 usage error (bad
+// flag or flag value), 3 malformed or unreadable input, 4 internal
+// error (a panic caught at the top-level guard — always a bug, never
+// caused by input).
 package main
 
 import (
@@ -28,7 +34,27 @@ import (
 	"daginsched/internal/sched"
 )
 
-func main() {
+// The tool's exit codes, one per failure class.
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+	exitInput   = 3
+	exitPanic   = 4
+)
+
+func main() { os.Exit(run()) }
+
+// run is main behind the panic guard: no input, however malformed, may
+// crash the tool with a stack trace — a caught panic is reported as a
+// one-line diagnostic and the distinct internal-error exit code.
+func run() (code int) {
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(os.Stderr, "sched: internal error: %v\n", p)
+			code = exitPanic
+		}
+	}()
 	var (
 		algo    = flag.String("algo", "krishnamurthy", "scheduling algorithm (Table 2 name)")
 		model   = flag.String("model", "pipe1", "machine model: pipe1, fpu, asym, super2")
@@ -47,15 +73,15 @@ func main() {
 	p := core.Default()
 	var ok bool
 	if p.Machine, ok = machine.ByName(*model); !ok {
-		fail("unknown machine model %q", *model)
+		return fail(exitUsage, "unknown machine model %q", *model)
 	}
 	var err error
 	if p.Algorithm, err = sched.AlgorithmByName(*algo); err != nil {
-		fail("%v", err)
+		return fail(exitUsage, "%v", err)
 	}
 	if *builder != "" {
 		if p.Builder, ok = dag.ByName(*builder); !ok {
-			fail("unknown builder %q", *builder)
+			return fail(exitUsage, "unknown builder %q", *builder)
 		}
 	}
 	switch *mem {
@@ -66,7 +92,7 @@ func main() {
 	case "single":
 		p.MemModel = resource.MemSingleModel
 	default:
-		fail("unknown memory model %q", *mem)
+		return fail(exitUsage, "unknown memory model %q", *mem)
 	}
 	p.Window = *window
 	p.FillSlots = *fill
@@ -75,11 +101,12 @@ func main() {
 
 	src, err := readInput(flag.Args())
 	if err != nil {
-		fail("%v", err)
+		return fail(exitInput, "%v", err)
 	}
 	out, res, err := p.ScheduleAsm(src)
 	if err != nil {
-		fail("%v", err)
+		// The only error ScheduleAsm returns is the parser's: input.
+		return fail(exitInput, "%v", err)
 	}
 	switch {
 	case *report:
@@ -102,6 +129,7 @@ func main() {
 	default:
 		fmt.Print(out)
 	}
+	return exitOK
 }
 
 func readInput(args []string) (string, error) {
@@ -113,7 +141,8 @@ func readInput(args []string) (string, error) {
 	return string(b), err
 }
 
-func fail(format string, args ...any) {
+// fail prints the one-line diagnostic and returns the exit code.
+func fail(code int, format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "sched: "+format+"\n", args...)
-	os.Exit(2)
+	return code
 }

@@ -11,6 +11,8 @@
 //	           [-verify] [-csr=bool] [-cache=bool]
 //	           [-adaptive=bool] [-crossover N] [-chunk N]
 //	           [-json BENCH_engine.json]
+//	schedbench -chaos [-seed N] [-faultrate r] [-workers N]
+//	           [-bench name]
 //
 // With no table flags, -all is assumed. As in the paper, Table 4 stops
 // at fpppp-1000: the n² approach's "excessive time and space
@@ -30,6 +32,15 @@
 // blocks is appended, and each benchmark's per-size-bin breakdown is
 // printed and recorded. -crossover and -chunk pass through to
 // engine.Config (0 = calibrate / default).
+//
+// -chaos runs the fault-injection gate (see chaos.go): a seeded
+// fault.Plan is fired at the engine over the selected benchmark
+// corpus and the run must recover every faulted block through the
+// degradation ladder while staying byte-identical to a fault-free run.
+//
+// Exit codes are distinct by failure class: 0 success, 1 runtime or
+// chaos-gate failure, 2 usage error (bad flag or flag value), 4
+// internal error (a panic caught at the top-level guard).
 package main
 
 import (
@@ -45,7 +56,26 @@ import (
 	"daginsched/internal/tables"
 )
 
-func main() {
+// The tool's exit codes, one per failure class.
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+	exitPanic   = 4
+)
+
+func main() { os.Exit(run()) }
+
+// run is main behind the panic guard: a caught panic is reported as a
+// one-line diagnostic and the distinct internal-error exit code, never
+// a stack trace.
+func run() (code int) {
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(os.Stderr, "schedbench: internal error: %v\n", p)
+			code = exitPanic
+		}
+	}()
 	var (
 		t3       = flag.Bool("table3", false, "print Table 3 (structural data)")
 		t4       = flag.Bool("table4", false, "print Table 4 (n**2 approach)")
@@ -71,15 +101,20 @@ func main() {
 		cross    = flag.Int("crossover", 0, "adaptive n² size threshold for -parallel (0 = calibrate, <0 = never)")
 		chunk    = flag.Int("chunk", 0, "small-block chunk size per atomic fetch for -parallel (0 = default)")
 		jsonOut  = flag.String("json", "BENCH_engine.json", "file for -parallel engine statistics JSON")
+		chaos    = flag.Bool("chaos", false, "run the fault-injection chaos gate against the engine")
+		seed     = flag.Uint64("seed", 1, "fault-plan seed for -chaos")
+		rate     = flag.Float64("faultrate", 0.08, "per-point injection rate for -chaos, in [0, 1]")
 	)
 	flag.Parse()
-	if !*t3 && !*t4 && !*t5 && !*fig1 && !*quality && !*optim && !*winners && !*scaling && !*ablate && !*par {
+	if !*t3 && !*t4 && !*t5 && !*fig1 && !*quality && !*optim && !*winners && !*scaling && !*ablate && !*par && !*chaos {
 		*all = true
 	}
 	m, ok := machine.ByName(*model)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "schedbench: unknown machine model %q\n", *model)
-		os.Exit(2)
+		return fail(exitUsage, "unknown machine model %q", *model)
+	}
+	if *rate < 0 || *rate > 1 {
+		return fail(exitUsage, "-faultrate %v outside [0, 1]", *rate)
 	}
 
 	sets := tables.Table3Sets()
@@ -91,8 +126,7 @@ func main() {
 			}
 		}
 		if len(filtered) == 0 {
-			fmt.Fprintf(os.Stderr, "schedbench: no benchmark matches %q\n", *bench)
-			os.Exit(2)
+			return fail(exitUsage, "no benchmark matches %q", *bench)
 		}
 		sets = filtered
 	}
@@ -166,10 +200,21 @@ func main() {
 			cache: *cache, adaptive: *adaptive, crossover: *cross, chunk: *chunk,
 		}
 		if err := runParallel(sets, m, *model, cfg, *jsonOut); err != nil {
-			fmt.Fprintf(os.Stderr, "schedbench: %v\n", err)
-			os.Exit(1)
+			return fail(exitRuntime, "%v", err)
 		}
 	}
+	if *chaos {
+		if err := runChaos(sets, m, chaosConfig{seed: *seed, rate: *rate, workers: *workers}); err != nil {
+			return fail(exitRuntime, "chaos gate: %v", err)
+		}
+	}
+	return exitOK
+}
+
+// fail prints the one-line diagnostic and returns the exit code.
+func fail(code int, format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "schedbench: "+format+"\n", args...)
+	return code
 }
 
 // engineReport is one benchmark's serial-vs-parallel engine comparison.

@@ -26,6 +26,51 @@ func runTool(t *testing.T, stdin string, tool string, args ...string) string {
 	return string(out)
 }
 
+// buildTool compiles one command to a temp binary so a test can
+// observe its exact exit code (go run does not reliably propagate it).
+func buildTool(t *testing.T, tool string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), tool)
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+tool).CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", tool, err, out)
+	}
+	return bin
+}
+
+// runToolErr runs a prebuilt tool expecting failure, returning its
+// combined output and exit code.
+func runToolErr(t *testing.T, stdin, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v: expected a failure, got success:\n%s", bin, args, out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: %v (not an exit error)\n%s", bin, args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// requireDiagnostic asserts a failure produced a one-line prefixed
+// diagnostic, not a panic stack trace.
+func requireDiagnostic(t *testing.T, tool, out string) {
+	t.Helper()
+	if !strings.HasPrefix(out, tool+":") {
+		t.Errorf("%s diagnostic missing prefix:\n%s", tool, out)
+	}
+	if strings.Contains(out, "goroutine ") || strings.Contains(out, "panic:") {
+		t.Errorf("%s crashed with a stack trace:\n%s", tool, out)
+	}
+	if n := strings.Count(strings.TrimRight(out, "\n"), "\n"); n != 0 {
+		t.Errorf("%s diagnostic is %d lines, want one:\n%s", tool, n+1, out)
+	}
+}
+
 const smokeAsm = `
 top:
 	ld [%fp-4], %o0
@@ -108,6 +153,62 @@ func TestSmokeSchedlint(t *testing.T) {
 	}
 	if len(doc.Findings) != 0 {
 		t.Errorf("schedlint found violations in the repo: %+v", doc.Findings)
+	}
+}
+
+// TestSmokeMalformedInput drives both end-user tools with malformed
+// flags and input and requires the distinct exit codes and one-line
+// diagnostics the hardened CLIs promise — never a panic.
+func TestSmokeMalformedInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short mode")
+	}
+	sched := buildTool(t, "sched")
+	schedbench := buildTool(t, "schedbench")
+	cases := []struct {
+		name  string
+		bin   string
+		tool  string
+		stdin string
+		args  []string
+		code  int
+	}{
+		{"sched malformed asm", sched, "sched", "bogus %o0 ???\n", nil, 3},
+		{"sched truncated operand", sched, "sched", "add %o0,\n", nil, 3},
+		{"sched missing file", sched, "sched", "", []string{"/nonexistent/input.s"}, 3},
+		{"sched unknown model", sched, "sched", "nop\n", []string{"-model", "marsrover"}, 2},
+		{"sched unknown algo", sched, "sched", "nop\n", []string{"-algo", "magic"}, 2},
+		{"sched unknown builder", sched, "sched", "nop\n", []string{"-builder", "lattice"}, 2},
+		{"sched unknown mem model", sched, "sched", "nop\n", []string{"-mem", "psychic"}, 2},
+		{"schedbench unknown model", schedbench, "schedbench", "", []string{"-model", "marsrover"}, 2},
+		{"schedbench unknown bench", schedbench, "schedbench", "", []string{"-table3", "-bench", "nosuch"}, 2},
+		{"schedbench bad fault rate", schedbench, "schedbench", "", []string{"-chaos", "-faultrate", "7"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := runToolErr(t, tc.stdin, tc.bin, tc.args...)
+			if code != tc.code {
+				t.Errorf("exit code %d, want %d\n%s", code, tc.code, out)
+			}
+			requireDiagnostic(t, tc.tool, out)
+		})
+	}
+}
+
+// TestSmokeSchedbenchChaos runs the -chaos fault-injection gate the
+// way CI does and requires it to pass.
+func TestSmokeSchedbenchChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short mode")
+	}
+	out := runTool(t, "", "schedbench", "-chaos", "-bench", "grep", "-workers", "8")
+	if !strings.Contains(out, "chaos gate: PASS") {
+		t.Errorf("schedbench -chaos:\n%s", out)
+	}
+	for _, want := range []string{"faulted blocks", "quarantines", "mismatched blocks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos report missing %q:\n%s", want, out)
+		}
 	}
 }
 

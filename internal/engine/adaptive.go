@@ -187,7 +187,7 @@ func (e *Engine) collectBins(dst []BinStats) []BinStats {
 // comparison sort; only the large prefix, usually a handful of
 // blocks, is then exact-sorted by size so an 11k-instruction giant
 // starts before a 600-instruction one.
-func (e *Engine) runBinned(res *BatchResult, blocks []*block.Block) {
+func (e *Engine) runBinned(res *BatchResult, blocks []*block.Block, done <-chan struct{}) {
 	nb := len(blocks)
 	res.perm = buf.Int32(res.perm, nb)
 	var counts, off [nBins]int32
@@ -221,6 +221,9 @@ func (e *Engine) runBinned(res *BatchResult, blocks []*block.Block) {
 		go func(w *worker) {
 			defer wg.Done()
 			for {
+				if cancelled(done) {
+					return
+				}
 				i := int(big.Add(1)) - 1
 				if i >= smallStart {
 					break
@@ -228,6 +231,9 @@ func (e *Engine) runBinned(res *BatchResult, blocks []*block.Block) {
 				e.process(w, res, blocks, int(res.perm[i]))
 			}
 			for {
+				if cancelled(done) {
+					return
+				}
 				lo := smallStart + (int(small.Add(1))-1)*e.chunk
 				if lo >= nb {
 					return

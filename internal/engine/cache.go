@@ -115,6 +115,20 @@ func (c *schedCache) insert(h uint64, e *cacheEntry) {
 	s.mu.Unlock()
 }
 
+// remove drops the entry memoized under (h, key): the hardened
+// runtime's response to a cache-served schedule failing the output
+// gate, so a poisoned entry cannot be served twice. The full encoding
+// is compared under the shard lock — a colliding entry for a
+// different block is left alone.
+func (c *schedCache) remove(h uint64, key []byte) {
+	s := c.shard(h)
+	s.mu.Lock()
+	if e := s.m[h]; e != nil && bytes.Equal(e.key, key) {
+		delete(s.m, h)
+	}
+	s.mu.Unlock()
+}
+
 // entries returns the current total entry count (tests only).
 func (c *schedCache) entries() int {
 	n := 0
@@ -157,6 +171,16 @@ func appendBlockKey(dst []byte, insts []isa.Inst) []byte {
 		dst = append(dst, in.Mem.Sym...)
 	}
 	return dst
+}
+
+// BlockKey returns the engine's content fingerprint for an
+// instruction sequence — the same 64-bit key the schedule cache and
+// the fault injector derive internally. It is exported so chaos tests
+// and schedbench -chaos can recompute which blocks a fault.Plan
+// selects (fault.Injector.Should / Any over this key) without running
+// an engine.
+func BlockKey(insts []isa.Inst) uint64 {
+	return fnv1a64(appendBlockKey(nil, insts))
 }
 
 // fnv1a64 is the 64-bit FNV-1a hash of b.

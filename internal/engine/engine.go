@@ -12,8 +12,8 @@
 package engine
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -22,6 +22,7 @@ import (
 	"daginsched/internal/block"
 	"daginsched/internal/buf"
 	"daginsched/internal/dag"
+	"daginsched/internal/fault"
 	"daginsched/internal/heur"
 	"daginsched/internal/machine"
 	"daginsched/internal/pipe"
@@ -89,6 +90,18 @@ type Config struct {
 	// CollectDAGStats (arc *kinds* may legitimately differ between the
 	// builders on equal-delay ties, so ByKind tallies could too).
 	DisableAdaptive bool
+	// BlockTimeout is the per-block soft deadline: a block whose
+	// pipeline attempt outlives it is demoted to the ladder's
+	// bounded-work identity rung instead of hanging a worker. The check
+	// is cooperative (post-construction checkpoint, injected stalls),
+	// not preemptive. Zero disables deadlines; negative is rejected.
+	BlockTimeout time.Duration
+	// FaultPlan enables deterministic fault injection (chaos testing):
+	// seed-driven panic-in-builder, corrupt-arc, cache-bitflip and
+	// slow-block faults keyed on block content, so the faulted set is
+	// identical across worker counts and interleavings. Nil (or an
+	// all-zero plan) compiles every injection point to a nil check.
+	FaultPlan *fault.Plan
 }
 
 // Stats summarizes one batch run; the JSON form is what cmd/schedbench
@@ -117,6 +130,17 @@ type Stats struct {
 	Crossover int        `json:"crossover,omitempty"`
 	ChunkSize int        `json:"chunk_size,omitempty"`
 	Bins      []BinStats `json:"bins,omitempty"`
+	// Hardening tallies, all zero on a healthy fault-free run:
+	// Quarantines counts worker-scratch discards (panic or gate
+	// failure), Demotions counts rung descents, GateFailures counts
+	// schedules the output gate rejected, FaultsInjected counts
+	// injection events fired by Config.FaultPlan, and DegradedBlocks
+	// counts blocks served below RungPrimary.
+	Quarantines    int64 `json:"quarantines,omitempty"`
+	Demotions      int64 `json:"demotions,omitempty"`
+	GateFailures   int64 `json:"gate_failures,omitempty"`
+	FaultsInjected int64 `json:"faults_injected,omitempty"`
+	DegradedBlocks int64 `json:"degraded_blocks,omitempty"`
 }
 
 // BatchResult is the outcome of one Run, indexed by block position.
@@ -132,6 +156,11 @@ type BatchResult struct {
 	// DAGStats holds per-block structural statistics (empty unless
 	// Config.CollectDAGStats).
 	DAGStats []dag.Stats
+	// Rungs records which degradation-ladder rung served each block;
+	// all RungPrimary on a healthy run. A block at RungIdentity kept
+	// its original program order (and reports zero Arcs — that rung
+	// never builds a DAG).
+	Rungs []Rung
 	// Stats is the run summary.
 	Stats Stats
 
@@ -165,6 +194,29 @@ type worker struct {
 	// bins are the per-run size-bin tallies under adaptive dispatch,
 	// summed lock-free into Stats.Bins after the pool drains.
 	bins [nBins]binAcc
+
+	// Hardening state. inj is the engine's fault injector (nil without
+	// a FaultPlan); deadline is the current block's soft deadline (zero
+	// when Config.BlockTimeout is unset); hookPanic/hookCorrupt are the
+	// one-shot injection hooks armed per block at ladder entry and
+	// consumed by the first buildCheckpoint; hookKey is the block's
+	// content fingerprint the hooks key on.
+	inj         *fault.Injector
+	deadline    time.Time
+	hookPanic   bool
+	hookCorrupt bool
+	hookKey     uint64
+	// gateSeen is the output gate's recycled exactly-once scratch;
+	// flip is the scratch copy a cache-bitflip fault poisons (the
+	// shared cache entry is never touched); idOrder/idRes back the
+	// identity rung's result.
+	gateSeen []int32
+	flip     []int32
+	idOrder  []int32
+	idRes    sched.Result
+	// Per-run hardening tallies, summed lock-free into Stats after the
+	// pool drains (and preserved across a quarantine's scratch swap).
+	quars, demoted, gateFails, faults int64
 }
 
 func newWorker(cfg *Config) *worker {
@@ -196,7 +248,9 @@ func newWorker(cfg *Config) *worker {
 // worker's next block.
 func (w *worker) schedule(b *block.Block, m *machine.Model) (*sched.Result, *dag.DAG) {
 	w.rt.PrepareBlock(b.Insts)
-	return w.finish(w.bld.BuildInto(&w.ar, b, m, w.rt), m)
+	d := w.bld.BuildInto(&w.ar, b, m, w.rt)
+	w.buildCheckpoint(d)
+	return w.finish(d, m)
 }
 
 // finish runs the post-construction half of the fixed pipeline —
@@ -230,9 +284,12 @@ func (w *worker) scheduleN2(b *block.Block, m *machine.Model) (r *sched.Result, 
 	w.rt.PrepareBlock(b.Insts)
 	nd, clean := dag.N2Forward{}.BuildCleanInto(&w.ar, b, m, w.rt)
 	if !clean {
-		r, d = w.finish(w.bld.BuildInto(&w.ar, b, m, w.rt), m)
+		td := w.bld.BuildInto(&w.ar, b, m, w.rt)
+		w.buildCheckpoint(td)
+		r, d = w.finish(td, m)
 		return r, d, false
 	}
+	w.buildCheckpoint(nd)
 	w.a.D = nd
 	w.a.ComputeBackward()
 	w.a.ComputeLocal()
@@ -256,26 +313,26 @@ type Engine struct {
 	adaptive  bool
 	crossover int
 	chunk     int
+	// inj is the compiled fault injector; nil unless Config.FaultPlan
+	// injects something.
+	inj *fault.Injector
 }
 
-// New validates cfg and builds the worker pool.
+// New validates cfg and builds the worker pool. Every rejected Config
+// comes back as a *ConfigError wrapping ErrConfig.
 func New(cfg Config) (*Engine, error) {
-	if cfg.Model == nil {
-		return nil, fmt.Errorf("engine: Config.Model is required")
+	if err := (&cfg).validate(); err != nil {
+		return nil, err
 	}
-	switch cfg.Builder {
-	case "":
-		cfg.Builder = "tableb"
-	case "tableb", "tablef":
-	default:
-		return nil, fmt.Errorf("engine: unknown builder %q (want tableb or tablef)", cfg.Builder)
+	inj, err := fault.NewInjector(cfg.FaultPlan)
+	if err != nil {
+		// validate already vetted the plan; this is belt and braces.
+		return nil, &ConfigError{Field: "FaultPlan", Value: cfg.FaultPlan, Reason: err.Error()}
 	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	e := &Engine{cfg: cfg, workers: make([]*worker, cfg.Workers)}
+	e := &Engine{cfg: cfg, workers: make([]*worker, cfg.Workers), inj: inj}
 	for i := range e.workers {
 		e.workers[i] = newWorker(&e.cfg)
+		e.workers[i].inj = inj
 	}
 	if cfg.Cache {
 		e.cache = newSchedCache(cfg.CacheCap)
@@ -290,7 +347,7 @@ func New(cfg Config) (*Engine, error) {
 		case cfg.Crossover < 0:
 			e.crossover = 0
 		case cfg.Crossover > 0:
-			e.crossover = min(cfg.Crossover, dag.N2MaskCap)
+			e.crossover = cfg.Crossover // validate clamped it to dag.N2MaskCap
 		default:
 			e.crossover = calibrateCrossover(e.workers[0], cfg.Model)
 		}
@@ -318,11 +375,28 @@ func (e *Engine) Workers() int { return len(e.workers) }
 
 // Run schedules every block and returns a fresh BatchResult.
 func (e *Engine) Run(blocks []*block.Block) (*BatchResult, error) {
-	return e.RunInto(new(BatchResult), blocks)
+	return e.RunIntoCtx(context.Background(), new(BatchResult), blocks)
+}
+
+// RunCtx is Run with cooperative cancellation: workers check ctx at
+// every block claim and stop claiming once it is done (a block already
+// mid-pipeline finishes — the engine never abandons a claimed block
+// half-written). A cancelled run returns ctx's error; the result's
+// contents are then partial and its Stats are not computed.
+func (e *Engine) RunCtx(ctx context.Context, blocks []*block.Block) (*BatchResult, error) {
+	return e.RunIntoCtx(ctx, new(BatchResult), blocks)
 }
 
 // RunInto is Run recycling a previous BatchResult's storage.
 func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult, error) {
+	return e.RunIntoCtx(context.Background(), res, blocks)
+}
+
+// RunIntoCtx is RunCtx recycling a previous BatchResult's storage.
+func (e *Engine) RunIntoCtx(ctx context.Context, res *BatchResult, blocks []*block.Block) (*BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nb := len(blocks)
 	res.Cycles = buf.Int32(res.Cycles, nb)
 	res.Arcs = buf.Int32(res.Arcs, nb)
@@ -366,11 +440,23 @@ func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult,
 			res.errs[i] = nil
 		}
 	}
+	if cap(res.Rungs) < nb {
+		res.Rungs = make([]Rung, nb)
+	}
+	res.Rungs = res.Rungs[:nb]
+	for i := range res.Rungs {
+		res.Rungs[i] = RungPrimary
+	}
 
 	for _, w := range e.workers {
 		w.hits, w.misses = 0, 0
 		w.bins = [nBins]binAcc{}
+		w.quars, w.demoted, w.gateFails, w.faults = 0, 0, 0, 0
 	}
+
+	// done is nil for Background-style contexts, so the fault-free Run
+	// path's per-claim cancellation check is a single nil test.
+	done := ctx.Done()
 
 	start := time.Now()
 	switch {
@@ -380,10 +466,13 @@ func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult,
 	case len(e.workers) == 1:
 		w := e.workers[0]
 		for i := range blocks {
+			if cancelled(done) {
+				break
+			}
 			e.process(w, res, blocks, i)
 		}
 	case e.adaptive:
-		e.runBinned(res, blocks)
+		e.runBinned(res, blocks, done)
 	default:
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -392,6 +481,9 @@ func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult,
 			go func(w *worker) {
 				defer wg.Done()
 				for {
+					if cancelled(done) {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= len(blocks) {
 						return
@@ -403,6 +495,9 @@ func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult,
 		wg.Wait()
 	}
 	wall := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("engine: run cancelled: %w", err)
+	}
 
 	st := &res.Stats
 	bins := st.Bins[:0] // retain the bin slice's capacity across runs
@@ -429,9 +524,18 @@ func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult,
 	for _, w := range e.workers {
 		st.CacheHits += w.hits
 		st.CacheMisses += w.misses
+		st.Quarantines += w.quars
+		st.Demotions += w.demoted
+		st.GateFailures += w.gateFails
+		st.FaultsInjected += w.faults
 	}
 	if total := st.CacheHits + st.CacheMisses; total > 0 {
 		st.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
+	for _, rg := range res.Rungs {
+		if rg != RungPrimary {
+			st.DegradedBlocks++
+		}
 	}
 	if nb > 0 {
 		res.sorted = buf.Int64(res.sorted, nb)
@@ -449,62 +553,69 @@ func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult,
 	return res, nil
 }
 
+// cancelled is the per-claim cooperative cancellation check; done is
+// nil when the run has no cancellable context.
+func cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // process runs block i in worker w's scratch and writes its slot of
 // the batch result. Slots are disjoint per block, so no locking. With
-// the cache enabled, a fingerprint hit copies the memoized schedule
-// into the slot and skips the entire pipeline.
+// the cache enabled, a fingerprint hit that passes the output gate
+// copies the memoized schedule into the slot and skips the entire
+// pipeline; everything else descends the degradation ladder, which
+// always produces a gated schedule.
 func (e *Engine) process(w *worker, res *BatchResult, blocks []*block.Block, i int) {
 	b := blocks[i]
 	t0 := time.Now()
+	if e.cfg.BlockTimeout > 0 {
+		w.deadline = t0.Add(e.cfg.BlockTimeout)
+	} else {
+		w.deadline = time.Time{}
+	}
 	var h uint64
-	if e.cache != nil {
+	if e.cache != nil || w.inj != nil {
 		w.enc = appendBlockKey(w.enc[:0], b.Insts)
 		h = fnv1a64(w.enc)
-		if ent := e.cache.lookup(h, w.enc); ent != nil {
-			w.hits++
-			res.Cycles[i] = ent.cycles
-			res.Arcs[i] = ent.arcs
-			if res.Orders != nil {
-				copy(res.Orders[i], ent.order)
-			}
-			if res.DAGStats != nil {
-				res.DAGStats[i] = ent.stats
-			}
-			if e.cfg.Verify {
-				// Same independent witness as a computed schedule; the
-				// simulator needs the worker's table prepared for b.
-				w.rt.PrepareBlock(b.Insts)
-				w.hitRes = sched.Result{Order: ent.order, Issue: ent.issue, Cycles: ent.cycles}
-				res.errs[i] = verify(b, &w.hitRes, e.cfg.Model, w.rt)
-			}
-			res.durs[i] = int64(time.Since(t0))
-			if e.adaptive {
-				w.binAdd(b.Len(), res.durs[i], pathCached)
-			}
+	}
+	if e.cache != nil {
+		if ent := e.cache.lookup(h, w.enc); ent != nil && e.serveHit(w, res, blocks, i, ent, h, t0) {
 			return
 		}
+		// A miss — or a poisoned hit the gate rejected, which serveHit
+		// already dropped from the cache; either way the pipeline runs.
 		w.misses++
 	}
-	var r *sched.Result
-	var d *dag.DAG
-	path := pathTable
-	if n := b.Len(); e.adaptive && n > 0 && n <= e.crossover {
-		var usedN2 bool
-		if r, d, usedN2 = w.scheduleN2(b, e.cfg.Model); usedN2 {
-			path = pathN2
-		}
-	} else {
-		r, d = w.schedule(b, e.cfg.Model)
-	}
+	rung, path, r, d := e.ladder(w, b, h)
+	res.Rungs[i] = rung
 	res.Cycles[i] = r.Cycles
-	res.Arcs[i] = int32(d.NumArcs)
+	if d != nil {
+		res.Arcs[i] = int32(d.NumArcs)
+	} else {
+		res.Arcs[i] = 0 // the identity rung builds no DAG
+	}
 	if res.Orders != nil {
 		copy(res.Orders[i], r.Order)
 	}
 	if res.DAGStats != nil {
-		res.DAGStats[i] = d.Statistics()
+		if d != nil {
+			res.DAGStats[i] = d.Statistics()
+		} else {
+			res.DAGStats[i] = dag.Stats{}
+		}
 	}
-	if e.cache != nil {
+	if e.cache != nil && rung == RungPrimary {
+		// Only healthy primary results are memoized: a degraded rung's
+		// schedule (identity in particular) must never masquerade as
+		// the canonical one for later occurrences of the same block.
 		ent := &cacheEntry{
 			key:    append([]byte(nil), w.enc...),
 			order:  append([]int32(nil), r.Order...),
@@ -524,6 +635,53 @@ func (e *Engine) process(w *worker, res *BatchResult, blocks []*block.Block, i i
 	if e.adaptive {
 		w.binAdd(b.Len(), res.durs[i], path)
 	}
+}
+
+// serveHit serves block i from cache entry ent, running the
+// structural half of the output gate (and the cache-bitflip injection
+// point) on the way out. It reports false — leaving the result slot
+// untouched and the poisoned entry removed from the cache — when the
+// served schedule fails the gate; the caller then recomputes the
+// block on the ladder.
+func (e *Engine) serveHit(w *worker, res *BatchResult, blocks []*block.Block, i int, ent *cacheEntry, h uint64, t0 time.Time) bool {
+	b := blocks[i]
+	order := ent.order
+	if w.inj.Should(fault.CacheBitflip, h) {
+		// Poison a scratch copy: the shared entry is immutable and may
+		// be mid-read by another worker.
+		w.flip = buf.Int32(w.flip, len(ent.order))
+		copy(w.flip, ent.order)
+		w.inj.FlipBit(w.flip, h)
+		w.faults++
+		order = w.flip
+	}
+	if !w.structuralGate(order, ent.issue, b.Len()) {
+		w.gateFails++
+		e.cache.remove(h, ent.key)
+		return false
+	}
+	w.hits++
+	res.Cycles[i] = ent.cycles
+	res.Arcs[i] = ent.arcs
+	res.Rungs[i] = RungPrimary
+	if res.Orders != nil {
+		copy(res.Orders[i], order)
+	}
+	if res.DAGStats != nil {
+		res.DAGStats[i] = ent.stats
+	}
+	if e.cfg.Verify {
+		// Same independent witness as a computed schedule; the
+		// simulator needs the worker's table prepared for b.
+		w.rt.PrepareBlock(b.Insts)
+		w.hitRes = sched.Result{Order: ent.order, Issue: ent.issue, Cycles: ent.cycles}
+		res.errs[i] = verify(b, &w.hitRes, e.cfg.Model, w.rt)
+	}
+	res.durs[i] = int64(time.Since(t0))
+	if e.adaptive {
+		w.binAdd(b.Len(), res.durs[i], pathCached)
+	}
+	return true
 }
 
 // verify re-times the schedule on the scoreboard simulator, which

@@ -8,9 +8,13 @@
 # first-wins inserts and shard resets against a shared schedule
 # cache), the adaptive-dispatch identity gate (byte-identical
 # schedules from the adaptive and fixed pipelines at eight workers,
-# under -race), and one-iteration benchmark smoke runs over the
-# engine, DAG-builder and heuristic benchmarks that check the
-# zero-allocation steady state.
+# under -race), the chaos gate (a seeded fault plan firing builder
+# panics, arc corruptions, cache bitflips and stalls at an 8-worker
+# pool under -race, with every block required to come back
+# byte-identical to a fault-free run; see DESIGN.md §9), a short
+# native-fuzz smoke over the build→schedule→gate pipeline, and
+# one-iteration benchmark smoke runs over the engine, DAG-builder and
+# heuristic benchmarks that check the zero-allocation steady state.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,6 +36,13 @@ go test -race -run '^TestEngineCacheDeterminism$' -count 3 ./internal/engine
 
 echo "== adaptive dispatch identity (workers=8, -race)"
 go test -race -run '^TestAdaptiveMatchesFixed$' ./internal/engine
+
+echo "== chaos gate (workers=8, -race)"
+go test -race -run '^TestEngineChaosLadder$|^TestEngineChaosDeterminism$' ./internal/engine
+go run ./cmd/schedbench -chaos -bench grep -workers 8
+
+echo "== fuzz smoke (30s)"
+go test -fuzz '^FuzzBuildSchedule$' -fuzztime 30s -run '^$' ./internal/engine
 
 echo "== engine bench smoke"
 go test -run '^$' -bench Engine -benchmem -benchtime 1x .
