@@ -1,0 +1,186 @@
+// The -diff perf-regression gate: compare a fresh engine benchmark
+// JSON against the committed BENCH_engine.json baseline, benchmark by
+// benchmark, and fail (exit 3) when the fresh run regressed outside
+// the tolerance band. Three figures gate each benchmark's warm
+// parallel run — throughput (insts/sec, must not fall below
+// base·(1−tol)) and the p50/p99 per-block latencies (must not rise
+// above base·(1+tol), with a small absolute floor so sub-microsecond
+// baselines don't flap on scheduler jitter). A streaming section, when
+// both documents carry one, is gated on its throughput the same way.
+//
+// The tolerance is deliberately wide by default (50%): wall-clock
+// benchmarks on shared CI hardware are noisy, and the gate is meant to
+// catch the pathological regression — an accidental O(n²) fallback, a
+// lost cache, a serialized pipeline — not a two-percent drift.
+//
+// -diffselftest proves the gate can actually fire: it doctors a copy
+// of the baseline in memory (throughput cut, latency inflated, both
+// past any tolerance), runs the comparison, and fails unless the
+// doctored copy is flagged and the undoctored copy passes.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// latencyFloorMicros is the absolute slack added to the latency bound:
+// a baseline p99 of 0.3us doubling to 0.6us is timer noise, not a
+// regression worth failing CI over.
+const latencyFloorMicros = 0.5
+
+// diffConfig carries the -diff flag group.
+type diffConfig struct {
+	freshPath string  // fresh JSON (-diff)
+	basePath  string  // baseline JSON (-json)
+	tolerance float64 // relative band, in [0, 1)
+}
+
+// readEngineFile loads and decodes an engine JSON document.
+func readEngineFile(path string) (*engineFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := new(engineFile)
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// writeEngineFile encodes and writes an engine JSON document.
+func writeEngineFile(path string, doc *engineFile) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runDiff executes the gate; regressed reports whether any benchmark
+// fell outside the band (the caller turns that into exit code 3).
+func runDiff(cfg diffConfig) (regressed bool, err error) {
+	base, err := readEngineFile(cfg.basePath)
+	if err != nil {
+		return false, err
+	}
+	fresh, err := readEngineFile(cfg.freshPath)
+	if err != nil {
+		return false, err
+	}
+	fmt.Printf("Perf diff: %s (fresh) vs %s (baseline), tolerance %.0f%%\n\n",
+		cfg.freshPath, cfg.basePath, cfg.tolerance*100)
+	n := compareEngineFiles(base, fresh, cfg.tolerance, os.Stdout)
+	if n > 0 {
+		return true, nil
+	}
+	fmt.Println("\nno regression outside the tolerance band")
+	return false, nil
+}
+
+// compareEngineFiles prints a delta line per benchmark common to both
+// documents and returns the number of out-of-band regressions.
+func compareEngineFiles(base, fresh *engineFile, tol float64, w io.Writer) (regressions int) {
+	baseBy := make(map[string]*engineReport, len(base.Benchmarks))
+	for i := range base.Benchmarks {
+		baseBy[base.Benchmarks[i].Name] = &base.Benchmarks[i]
+	}
+	fmt.Fprintf(w, "%-12s %14s %14s %8s %10s %10s  %s\n",
+		"benchmark", "base ips", "fresh ips", "delta", "p50(us)", "p99(us)", "verdict")
+	compared := 0
+	for i := range fresh.Benchmarks {
+		fr := &fresh.Benchmarks[i]
+		ba, ok := baseBy[fr.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		var bad []string
+		if fr.Parallel.InstsPerSec < ba.Parallel.InstsPerSec*(1-tol) {
+			bad = append(bad, "throughput")
+		}
+		if fr.Parallel.P50Micros > ba.Parallel.P50Micros*(1+tol)+latencyFloorMicros {
+			bad = append(bad, "p50")
+		}
+		if fr.Parallel.P99Micros > ba.Parallel.P99Micros*(1+tol)+latencyFloorMicros {
+			bad = append(bad, "p99")
+		}
+		verdict := "ok"
+		if len(bad) > 0 {
+			regressions++
+			verdict = "REGRESSED"
+			for _, b := range bad {
+				verdict += " " + b
+			}
+		}
+		delta := 0.0
+		if ba.Parallel.InstsPerSec > 0 {
+			delta = fr.Parallel.InstsPerSec/ba.Parallel.InstsPerSec - 1
+		}
+		fmt.Fprintf(w, "%-12s %14.0f %14.0f %+7.1f%% %10.1f %10.1f  %s\n",
+			fr.Name, ba.Parallel.InstsPerSec, fr.Parallel.InstsPerSec, delta*100,
+			fr.Parallel.P50Micros, fr.Parallel.P99Micros, verdict)
+	}
+	if base.Stream != nil && fresh.Stream != nil {
+		compared++
+		verdict := "ok"
+		if fresh.Stream.Stats.InstsPerSec < base.Stream.Stats.InstsPerSec*(1-tol) {
+			regressions++
+			verdict = "REGRESSED throughput"
+		}
+		fmt.Fprintf(w, "%-12s %14.0f %14.0f %+7.1f%% %10s %10s  %s\n",
+			"stream", base.Stream.Stats.InstsPerSec, fresh.Stream.Stats.InstsPerSec,
+			(fresh.Stream.Stats.InstsPerSec/base.Stream.Stats.InstsPerSec-1)*100,
+			"-", "-", verdict)
+	}
+	if compared == 0 {
+		// No overlap means the gate silently checked nothing; surface
+		// that as a regression so a renamed benchmark can't dodge it.
+		fmt.Fprintf(w, "%-12s %14s %14s %8s %10s %10s  REGRESSED no common benchmarks\n",
+			"(none)", "-", "-", "-", "-", "-")
+		regressions++
+	}
+	return regressions
+}
+
+// runDiffSelfTest proves the gate fires: an undoctored copy of the
+// baseline must pass, and copies with an injected throughput collapse
+// or latency blow-up must each be flagged.
+func runDiffSelfTest(basePath string, tol float64) error {
+	base, err := readEngineFile(basePath)
+	if err != nil {
+		return err
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks to self-test against", basePath)
+	}
+	if n := compareEngineFiles(base, cloneEngineFile(base), tol, io.Discard); n != 0 {
+		return fmt.Errorf("gate flagged %d regressions comparing the baseline with itself", n)
+	}
+	slow := cloneEngineFile(base)
+	// Scale past any tolerance band so the self-test is meaningful at
+	// whatever -tolerance the caller gates with.
+	slow.Benchmarks[0].Parallel.InstsPerSec *= (1 - tol) / 2
+	if n := compareEngineFiles(base, slow, tol, io.Discard); n == 0 {
+		return fmt.Errorf("gate missed an injected throughput collapse on %q", slow.Benchmarks[0].Name)
+	}
+	lat := cloneEngineFile(base)
+	lat.Benchmarks[0].Parallel.P99Micros = lat.Benchmarks[0].Parallel.P99Micros*(1+tol)*2 + 2*latencyFloorMicros
+	if n := compareEngineFiles(base, lat, tol, io.Discard); n == 0 {
+		return fmt.Errorf("gate missed an injected p99 blow-up on %q", lat.Benchmarks[0].Name)
+	}
+	fmt.Printf("diff gate self-test ok: baseline passes, injected throughput and latency regressions are caught (tolerance %.0f%%)\n", tol*100)
+	return nil
+}
+
+// cloneEngineFile deep-copies the parts of the document the self-test
+// doctors (the benchmark slice; Fixed/Bins stay shared — never written).
+func cloneEngineFile(doc *engineFile) *engineFile {
+	cp := *doc
+	cp.Benchmarks = append([]engineReport(nil), doc.Benchmarks...)
+	return &cp
+}

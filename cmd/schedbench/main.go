@@ -13,6 +13,11 @@
 //	           [-json BENCH_engine.json]
 //	schedbench -chaos [-seed N] [-faultrate r] [-workers N]
 //	           [-bench name]
+//	schedbench -stream [-insts 100e6] [-depth N] [-workers N]
+//	           [-bench name] [-json BENCH_engine.json]
+//	schedbench -diff fresh.json [-json BENCH_engine.json]
+//	           [-tolerance 0.5]
+//	schedbench -diffselftest [-json BENCH_engine.json] [-tolerance 0.5]
 //
 // With no table flags, -all is assumed. As in the paper, Table 4 stops
 // at fpppp-1000: the n² approach's "excessive time and space
@@ -38,13 +43,24 @@
 // corpus and the run must recover every faulted block through the
 // degradation ladder while staying byte-identical to a fault-free run.
 //
+// -stream benchmarks the streaming pipeline (see stream.go): the
+// constant-memory synthetic producer feeds Engine.RunStream until
+// -insts instructions have flowed through, and steady-state
+// throughput, queue occupancy and the RSS high-water mark are merged
+// into the engine JSON alongside a batch-mode yardstick.
+//
+// -diff and -diffselftest are the perf-regression gate (see diff.go):
+// a fresh engine JSON is compared against the committed baseline with
+// a tolerance band, exiting 3 on regression; the self-test proves the
+// gate fires on injected regressions.
+//
 // Exit codes are distinct by failure class: 0 success, 1 runtime or
-// chaos-gate failure, 2 usage error (bad flag or flag value), 4
-// internal error (a panic caught at the top-level guard).
+// chaos-gate failure, 2 usage error (bad flag or flag value), 3
+// performance regression flagged by -diff, 4 internal error (a panic
+// caught at the top-level guard).
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -61,6 +77,7 @@ const (
 	exitOK      = 0
 	exitRuntime = 1
 	exitUsage   = 2
+	exitRegress = 3
 	exitPanic   = 4
 )
 
@@ -104,9 +121,16 @@ func run() (code int) {
 		chaos    = flag.Bool("chaos", false, "run the fault-injection chaos gate against the engine")
 		seed     = flag.Uint64("seed", 1, "fault-plan seed for -chaos")
 		rate     = flag.Float64("faultrate", 0.08, "per-point injection rate for -chaos, in [0, 1]")
+		stream   = flag.Bool("stream", false, "benchmark the streaming engine pipeline (RunStream) over the synthetic producer")
+		insts    = flag.Float64("insts", 2e6, "instruction target for -stream (scientific notation welcome: -insts 100e6)")
+		depth    = flag.Int("depth", 0, "bounded queue depth in blocks for -stream (0 = engine default)")
+		diffPath = flag.String("diff", "", "fresh engine JSON to gate against the -json baseline; exit 3 on perf regression")
+		tol      = flag.Float64("tolerance", 0.5, "relative tolerance band for -diff and -diffselftest, in [0, 1)")
+		selftest = flag.Bool("diffselftest", false, "verify the -diff gate catches injected regressions against the -json baseline")
 	)
 	flag.Parse()
-	if !*t3 && !*t4 && !*t5 && !*fig1 && !*quality && !*optim && !*winners && !*scaling && !*ablate && !*par && !*chaos {
+	if !*t3 && !*t4 && !*t5 && !*fig1 && !*quality && !*optim && !*winners && !*scaling && !*ablate &&
+		!*par && !*chaos && !*stream && *diffPath == "" && !*selftest {
 		*all = true
 	}
 	m, ok := machine.ByName(*model)
@@ -115,6 +139,29 @@ func run() (code int) {
 	}
 	if *rate < 0 || *rate > 1 {
 		return fail(exitUsage, "-faultrate %v outside [0, 1]", *rate)
+	}
+	if *tol < 0 || *tol >= 1 {
+		return fail(exitUsage, "-tolerance %v outside [0, 1)", *tol)
+	}
+
+	// The diff gate is a standalone mode: it reads JSON documents that
+	// earlier runs produced and never touches the engine.
+	if *diffPath != "" || *selftest {
+		if *selftest {
+			if err := runDiffSelfTest(*jsonOut, *tol); err != nil {
+				return fail(exitRuntime, "diff self-test: %v", err)
+			}
+		}
+		if *diffPath != "" {
+			regressed, err := runDiff(diffConfig{freshPath: *diffPath, basePath: *jsonOut, tolerance: *tol})
+			if err != nil {
+				return fail(exitRuntime, "diff gate: %v", err)
+			}
+			if regressed {
+				return fail(exitRegress, "performance regressed outside the %.0f%% tolerance band", *tol*100)
+			}
+		}
+		return exitOK
 	}
 
 	sets := tables.Table3Sets()
@@ -203,6 +250,15 @@ func run() (code int) {
 			return fail(exitRuntime, "%v", err)
 		}
 	}
+	if *stream {
+		cfg := parallelConfig{
+			workers: *workers, builder: *builder, verify: *verify, csr: *csr,
+			cache: *cache, adaptive: *adaptive, crossover: *cross, chunk: *chunk,
+		}
+		if err := runStream(m, *model, cfg, *insts, *depth, *bench, *jsonOut); err != nil {
+			return fail(exitRuntime, "stream: %v", err)
+		}
+	}
 	if *chaos {
 		if err := runChaos(sets, m, chaosConfig{seed: *seed, rate: *rate, workers: *workers}); err != nil {
 			return fail(exitRuntime, "chaos gate: %v", err)
@@ -251,6 +307,9 @@ type engineFile struct {
 	Crossover  int            `json:"crossover,omitempty"`
 	ChunkSize  int            `json:"chunk_size,omitempty"`
 	Benchmarks []engineReport `json:"benchmarks"`
+	// Stream is the -stream run's section, written by mergeStreamReport
+	// and preserved across -parallel rewrites of the document.
+	Stream *streamReport `json:"stream,omitempty"`
 }
 
 // parallelConfig carries the -parallel flag group.
@@ -373,12 +432,11 @@ func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string,
 		}
 	}
 
-	data, err := json.MarshalIndent(&doc, "", "  ")
-	if err != nil {
-		return err
+	// A -stream section recorded by an earlier run rides along.
+	if old, err := readEngineFile(jsonPath); err == nil {
+		doc.Stream = old.Stream
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+	if err := writeEngineFile(jsonPath, &doc); err != nil {
 		return err
 	}
 	fmt.Printf("\nengine statistics written to %s\n", jsonPath)

@@ -269,3 +269,78 @@ func TestSmokeSchedbench(t *testing.T) {
 		t.Errorf("engine JSON contents wrong: %+v", doc)
 	}
 }
+
+// TestSmokeSchedbenchStreamAndDiff exercises the streaming benchmark
+// and the perf-regression gate end to end: a short -stream run merges
+// a stream section into the engine JSON, -diff passes a document
+// against itself, -diffselftest proves the gate catches injected
+// regressions, and a genuinely doctored document exits with the
+// distinct regression code.
+func TestSmokeSchedbenchStreamAndDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short mode")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "engine.json")
+	out := runTool(t, "", "schedbench", "-parallel", "-workers", "2",
+		"-bench", "grep", "-json", jsonPath)
+	if !strings.Contains(out, "Parallel batch engine") {
+		t.Fatalf("schedbench -parallel:\n%s", out)
+	}
+	out = runTool(t, "", "schedbench", "-stream", "-insts", "2e5",
+		"-bench", "grep", "-workers", "2", "-json", jsonPath)
+	for _, want := range []string{"Streaming engine", "throughput", "RSS high-water"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schedbench -stream missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks []json.RawMessage `json:"benchmarks"`
+		Stream     *struct {
+			Insts int64 `json:"insts"`
+			Stats struct {
+				InstsPerSec float64 `json:"insts_per_sec"`
+			} `json:"stats"`
+		} `json:"stream"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("engine JSON malformed: %v\n%s", err, data)
+	}
+	if len(doc.Benchmarks) == 0 {
+		t.Error("-stream dropped the existing parallel benchmarks")
+	}
+	if doc.Stream == nil || doc.Stream.Insts < 2e5 || doc.Stream.Stats.InstsPerSec <= 0 {
+		t.Fatalf("stream section wrong: %+v", doc.Stream)
+	}
+
+	out = runTool(t, "", "schedbench", "-diff", jsonPath, "-json", jsonPath)
+	if !strings.Contains(out, "no regression") {
+		t.Errorf("self-diff should pass:\n%s", out)
+	}
+	out = runTool(t, "", "schedbench", "-diffselftest", "-json", jsonPath)
+	if !strings.Contains(out, "self-test ok") {
+		t.Errorf("schedbench -diffselftest:\n%s", out)
+	}
+
+	// A document whose throughput collapsed must exit with the
+	// regression code (3) and name the offender.
+	doctored := strings.Replace(string(data), `"insts_per_sec"`, `"x_insts_per_sec"`, -1)
+	badPath := filepath.Join(t.TempDir(), "doctored.json")
+	if err := os.WriteFile(badPath, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	schedbench := buildTool(t, "schedbench")
+	out2, code := runToolErr(t, "", schedbench, "-diff", badPath, "-json", jsonPath)
+	if code != 3 {
+		t.Errorf("doctored diff exit code %d, want 3\n%s", code, out2)
+	}
+
+	out2, code = runToolErr(t, "", schedbench, "-diff", jsonPath, "-tolerance", "1.5")
+	if code != 2 {
+		t.Errorf("bad tolerance exit code %d, want 2\n%s", code, out2)
+	}
+	requireDiagnostic(t, "schedbench", out2)
+}

@@ -62,7 +62,7 @@ func Partition(prog []isa.Inst) []*Block {
 		if cur == nil {
 			name := in.Label
 			if name == "" {
-				name = synthName(len(blocks))
+				name = SynthName(len(blocks))
 			}
 			cur = &Block{Name: name, Start: i}
 		}
@@ -76,7 +76,10 @@ func Partition(prog []isa.Inst) []*Block {
 	return blocks
 }
 
-func synthName(n int) string {
+// SynthName is the synthesized ".bb<n>" name of the n-th emitted block
+// (0-based) when no label leads it. It is exported so streaming
+// partitioners (asm.BlockScanner) name blocks identically to Partition.
+func SynthName(n int) string {
 	// Small hand-rolled itoa keeps this allocation-light on huge streams.
 	buf := [24]byte{'.', 'b', 'b'}
 	i := len(buf)

@@ -102,6 +102,12 @@ type Config struct {
 	// identical across worker counts and interleavings. Nil (or an
 	// all-zero plan) compiles every injection point to a nil check.
 	FaultPlan *fault.Plan
+	// StreamDepth bounds RunStream's ingest queues (in blocks): a full
+	// pipeline backpressures the producer instead of buffering, which is
+	// what makes streamed memory independent of stream length. 0 means a
+	// 256-block default; negative is rejected. Batch entry points ignore
+	// it.
+	StreamDepth int
 }
 
 // Stats summarizes one batch run; the JSON form is what cmd/schedbench
@@ -141,6 +147,15 @@ type Stats struct {
 	GateFailures   int64 `json:"gate_failures,omitempty"`
 	FaultsInjected int64 `json:"faults_injected,omitempty"`
 	DegradedBlocks int64 `json:"degraded_blocks,omitempty"`
+	// Streaming fields, set by RunStream only: StreamDepth echoes the
+	// queue bound in effect; BigQueuePeak and SmallQueuePeak are the two
+	// ingest queues' occupancy high-water marks (blocks and chunks
+	// respectively); PendingPeak is the reorder ring's high-water mark —
+	// the most outcomes that were ever scheduled-but-unemitted at once.
+	StreamDepth    int `json:"stream_depth,omitempty"`
+	BigQueuePeak   int `json:"big_queue_peak,omitempty"`
+	SmallQueuePeak int `json:"small_queue_peak,omitempty"`
+	PendingPeak    int `json:"pending_peak,omitempty"`
 }
 
 // BatchResult is the outcome of one Run, indexed by block position.

@@ -1,0 +1,373 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"daginsched/internal/block"
+	"daginsched/internal/fault"
+	"daginsched/internal/machine"
+	"daginsched/internal/synth"
+)
+
+// streamOutcome is one sink delivery with its Order copied out of the
+// recycled ring storage.
+type streamOutcome struct {
+	seq    int64
+	cycles int32
+	arcs   int32
+	rung   Rung
+	order  []int32
+}
+
+// collectStream drives RunStream over blocks (fed on an unbuffered
+// channel, so ingestion genuinely interleaves with scheduling) and
+// returns every outcome in delivery order.
+func collectStream(t *testing.T, e *Engine, blocks []*block.Block) ([]streamOutcome, Stats, error) {
+	t.Helper()
+	src := make(chan *block.Block)
+	go func() {
+		defer close(src)
+		for _, b := range blocks {
+			src <- b
+		}
+	}()
+	var got []streamOutcome
+	sink := func(o BlockOutcome) {
+		oc := streamOutcome{seq: o.Seq, cycles: o.Cycles, arcs: o.Arcs, rung: o.Rung}
+		if o.Order != nil {
+			oc.order = append([]int32(nil), o.Order...)
+		}
+		got = append(got, oc)
+	}
+	st, err := e.RunStream(context.Background(), src, sink)
+	return got, st, err
+}
+
+// requireStreamMatchesBatch checks outcome i against batch block i:
+// same schedule bytes, same cycles, same arc count, same rung, and
+// dense in-order sequence numbers.
+func requireStreamMatchesBatch(t *testing.T, got []streamOutcome, want *BatchResult) {
+	t.Helper()
+	if len(got) != len(want.Orders) {
+		t.Fatalf("stream delivered %d outcomes, want %d", len(got), len(want.Orders))
+	}
+	for i, oc := range got {
+		if oc.seq != int64(i) {
+			t.Fatalf("outcome %d: seq %d — sink deliveries must be dense and in order", i, oc.seq)
+		}
+		if oc.cycles != want.Cycles[i] {
+			t.Fatalf("block %d: cycles %d, want %d", i, oc.cycles, want.Cycles[i])
+		}
+		if oc.arcs != want.Arcs[i] {
+			t.Fatalf("block %d: arcs %d, want %d", i, oc.arcs, want.Arcs[i])
+		}
+		if oc.rung != want.Rungs[i] {
+			t.Fatalf("block %d: rung %v, want %v", i, oc.rung, want.Rungs[i])
+		}
+		if len(oc.order) != len(want.Orders[i]) {
+			t.Fatalf("block %d: order length %d, want %d", i, len(oc.order), len(want.Orders[i]))
+		}
+		for k := range oc.order {
+			if oc.order[k] != want.Orders[i][k] {
+				t.Fatalf("block %d position %d: node %d, want %d", i, k, oc.order[k], want.Orders[i][k])
+			}
+		}
+	}
+}
+
+// TestRunStreamMatchesRun requires streamed schedules to be
+// byte-identical to batch Run over the same corpus at every worker
+// count, through a deliberately tiny queue depth so backpressure and
+// the reorder ring actually engage.
+func TestRunStreamMatchesRun(t *testing.T) {
+	m := machine.Super2()
+	blocks := testBlocks(t, 200)
+	base := Config{Model: m, KeepOrders: true, Cache: true, Crossover: 16}
+
+	ref, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		cfg := base
+		cfg.Workers = workers
+		cfg.StreamDepth = 16
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two passes through the same engine: the second runs with warm
+		// arenas and a populated cache, like a long stream's steady
+		// state.
+		for pass := 0; pass < 2; pass++ {
+			got, st, err := collectStream(t, e, blocks)
+			if err != nil {
+				t.Fatalf("workers=%d pass=%d: %v", workers, pass, err)
+			}
+			requireStreamMatchesBatch(t, got, want)
+			if st.Blocks != len(blocks) {
+				t.Fatalf("workers=%d: stats counted %d blocks, want %d", workers, st.Blocks, len(blocks))
+			}
+			if st.Insts != want.Stats.Insts {
+				t.Fatalf("workers=%d: stats counted %d insts, want %d", workers, st.Insts, want.Stats.Insts)
+			}
+			if pass == 1 && st.CacheHits == 0 {
+				t.Fatalf("workers=%d: second pass over one corpus saw no cache hits", workers)
+			}
+		}
+	}
+}
+
+// TestRunStreamFaultedMatchesRun streams under an aggressive fault
+// plan and requires the outcomes — including which ladder rung served
+// each block — to match a batch run under the same plan. Faults are
+// content-keyed, so arrival order and worker interleaving must not
+// change which blocks get hit or how they recover.
+func TestRunStreamFaultedMatchesRun(t *testing.T) {
+	m := machine.Super2()
+	blocks := testBlocks(t, 120)
+	cfg := Config{
+		Model: m, KeepOrders: true, Cache: true, Verify: true, Crossover: 16,
+		FaultPlan: &fault.Plan{Seed: 42, PanicBuilder: 0.1, CorruptArc: 0.1, CacheBitflip: 0.3},
+	}
+
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := 0
+	for _, r := range want.Rungs {
+		if r != RungPrimary {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("fault plan injected nothing; the test is vacuous")
+	}
+
+	scfg := cfg
+	scfg.Workers = 4
+	scfg.StreamDepth = 16
+	e, err := New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := collectStream(t, e, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStreamMatchesBatch(t, got, want)
+	if st.DegradedBlocks != int64(degraded) {
+		t.Fatalf("stream degraded %d blocks, batch degraded %d", st.DegradedBlocks, degraded)
+	}
+}
+
+// TestRunStreamCancellation cancels mid-stream and requires: RunStream
+// returns promptly with the context error, the sink saw a dense
+// in-order prefix, and an unbounded producer does not wedge the
+// pipeline.
+func TestRunStreamCancellation(t *testing.T) {
+	m := machine.Super2()
+	blocks := testBlocks(t, 10)
+	e, err := New(Config{Workers: 4, Model: m, StreamDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := make(chan *block.Block)
+	go func() {
+		defer close(src)
+		for i := 0; ; i++ {
+			select {
+			case src <- blocks[i%len(blocks)]:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var seqs []int64
+	sink := func(o BlockOutcome) {
+		seqs = append(seqs, o.Seq)
+		if len(seqs) == 100 {
+			cancel()
+		}
+	}
+	done := make(chan struct{})
+	var st Stats
+	var runErr error
+	go func() {
+		defer close(done)
+		st, runErr = e.RunStream(ctx, src, sink)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunStream did not return after cancellation")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", runErr)
+	}
+	if len(seqs) < 100 {
+		t.Fatalf("sink saw %d outcomes before cancellation propagated, want >= 100", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != int64(i) {
+			t.Fatalf("outcome %d has seq %d: cancelled stream must still emit a dense prefix", i, s)
+		}
+	}
+	if st.Blocks < len(seqs) {
+		t.Fatalf("stats counted %d blocks, sink saw %d", st.Blocks, len(seqs))
+	}
+}
+
+// TestRunStreamBoundedMemory streams >1M instructions of fresh content
+// through a tiny queue and requires the live heap to stay flat: the
+// measurement compares the post-GC heap after a short priming stream
+// against the post-GC heap after a stream four times longer on the
+// same engine. Growth proportional to stream length would fail; queue-
+// and arena-proportional state does not.
+func TestRunStreamBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams 1.5M instructions")
+	}
+	m := machine.Super2()
+	e, err := New(Config{Workers: 2, Model: m, Cache: false, StreamDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := synth.Profiles()
+	runStream := func(minInsts int64) {
+		src := make(chan *block.Block, 8)
+		free := make(chan *block.Block, 64)
+		go synth.StreamCorpus(context.Background(), profiles, minInsts, src, free)
+		sink := func(o BlockOutcome) {
+			select {
+			case free <- o.Block:
+			default:
+			}
+		}
+		if _, err := e.RunStream(context.Background(), src, sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	liveHeap := func() int64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	}
+
+	runStream(300_000)
+	before := liveHeap()
+	runStream(1_200_000)
+	after := liveHeap()
+
+	const limit = 16 << 20
+	if grew := after - before; grew > limit {
+		t.Fatalf("live heap grew %d bytes across a 4x longer stream (limit %d): streaming state is not bounded", grew, limit)
+	}
+}
+
+// TestRunStreamEdgeCases covers the empty stream, nil source rejection
+// and nil-block tolerance.
+func TestRunStreamEdgeCases(t *testing.T) {
+	m := machine.Super2()
+	e, err := New(Config{Workers: 2, Model: m, StreamDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := e.RunStream(context.Background(), nil, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+
+	src := make(chan *block.Block)
+	close(src)
+	st, err := e.RunStream(context.Background(), src, nil)
+	if err != nil {
+		t.Fatalf("empty stream: %v", err)
+	}
+	if st.Blocks != 0 || st.Insts != 0 {
+		t.Fatalf("empty stream counted %d blocks / %d insts", st.Blocks, st.Insts)
+	}
+
+	blocks := testBlocks(t, 3)
+	src = make(chan *block.Block, 4)
+	src <- nil
+	src <- blocks[0]
+	src <- nil
+	close(src)
+	n := 0
+	st, err = e.RunStream(context.Background(), src, func(BlockOutcome) { n++ })
+	if err != nil {
+		t.Fatalf("nil-block stream: %v", err)
+	}
+	if n != 1 || st.Blocks != 1 {
+		t.Fatalf("nil blocks not skipped: %d outcomes, %d counted", n, st.Blocks)
+	}
+}
+
+// TestStreamHistogram pins the latency histogram's bucketing: exact
+// below 16ns, ~12% relative resolution above, monotone representative
+// values, and the batch percentile rank convention.
+func TestStreamHistogram(t *testing.T) {
+	for n := int64(0); n < 16; n++ {
+		if got := histIndex(n); got != int(n) {
+			t.Fatalf("histIndex(%d) = %d, want exact bucket", n, got)
+		}
+	}
+	if histIndex(-5) != 0 {
+		t.Fatal("negative duration must land in bucket 0")
+	}
+	prev := -1.0
+	for i := 0; i < streamHistBuckets; i++ {
+		rep := histRepNanos(i)
+		if rep <= prev {
+			t.Fatalf("bucket %d representative %v not monotone after %v", i, rep, prev)
+		}
+		prev = rep
+		// The top few buckets represent durations beyond int64 range and
+		// can never be produced by histIndex; round-trip the rest.
+		if rep < float64(1<<62) {
+			if idx := histIndex(int64(rep)); idx != i {
+				t.Fatalf("bucket %d representative %v maps back to bucket %d", i, rep, idx)
+			}
+		}
+	}
+	// Relative error: for durations across the range, the representative
+	// of the bucket a duration lands in stays within ~13% of it.
+	for _, d := range []int64{17, 100, 999, 12345, 1e6, 5e7, 1e9} {
+		rep := histRepNanos(histIndex(d))
+		if rel := (rep - float64(d)) / float64(d); rel > 0.13 || rel < -0.13 {
+			t.Fatalf("duration %d: representative %v off by %.1f%%", d, rep, rel*100)
+		}
+	}
+	var h [streamHistBuckets]int64
+	h[histIndex(10)] = 90
+	h[histIndex(1000)] = 10
+	if p := histPercentile(&h, 100, 50); p != 10 {
+		t.Fatalf("p50 = %v, want 10", p)
+	}
+	if p := histPercentile(&h, 100, 99); p < 500 {
+		t.Fatalf("p99 = %v, want the ~1000ns bucket's representative", p)
+	}
+	if p := histPercentile(&h, 0, 99); p != 0 {
+		t.Fatalf("empty histogram percentile = %v, want 0", p)
+	}
+}

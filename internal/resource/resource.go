@@ -134,17 +134,25 @@ func keyOf(m isa.MemExpr) memKey {
 type Table struct {
 	model MemModel
 
-	memIDs    map[memKey]ID
+	memIDs map[memKey]ID
+	// memKeys logs memIDs insertions so reset can delete exactly the
+	// previous block's entries. clear() walks every bucket of a map,
+	// so after one giant block grows the map, clearing it per tiny
+	// block costs the giant's capacity forever; targeted deletes keep
+	// the per-block reset proportional to what the block interned.
+	memKeys   []memKey
 	next      ID
 	dirty     [numStorageClasses]bool // class cannot be disambiguated
 	wildcard  [numStorageClasses]ID   // lazily allocated per-class serializer
 	singleID  ID                      // lazily allocated MemSingleModel resource
 	uniqueMax int                     // distinct expressions seen in PrepareBlock
 
-	// Reused PrepareBlock scratch: both survive across blocks so the
-	// steady-state prescan performs no allocations.
-	seen   map[memKey]bool
-	defbuf []isa.ResRef
+	// Reused PrepareBlock scratch: all survive across blocks so the
+	// steady-state prescan performs no allocations. seenKeys logs seen
+	// insertions for the same targeted-delete reset as memKeys.
+	seen     map[memKey]bool
+	seenKeys []memKey
+	defbuf   []isa.ResRef
 }
 
 // NewTable returns a table using the given memory model.
@@ -162,7 +170,10 @@ func NewTable(model MemModel) *Table {
 func (t *Table) Model() MemModel { return t.model }
 
 func (t *Table) reset() {
-	clear(t.memIDs)
+	for _, k := range t.memKeys {
+		delete(t.memIDs, k)
+	}
+	t.memKeys = t.memKeys[:0]
 	t.next = NumFixed
 	for i := range t.dirty {
 		t.dirty[i] = false
@@ -190,7 +201,10 @@ func (t *Table) PrepareBlock(insts []isa.Inst) {
 			}
 		}
 	}
-	clear(t.seen)
+	for _, k := range t.seenKeys {
+		delete(t.seen, k)
+	}
+	t.seenKeys = t.seenKeys[:0]
 	for i := range insts {
 		op := insts[i].Op
 		if !op.IsLoad() && !op.IsStore() {
@@ -199,6 +213,7 @@ func (t *Table) PrepareBlock(insts []isa.Inst) {
 		m := insts[i].Mem
 		if k := keyOf(m); !t.seen[k] {
 			t.seen[k] = true
+			t.seenKeys = append(t.seenKeys, k)
 		}
 		c := ClassOf(m)
 		switch {
@@ -251,6 +266,8 @@ func (t *Table) MemID(m isa.MemExpr) ID {
 	id := t.alloc()
 	//sched:lint-ignore noalloc steady-state: the interning map survives PrepareBlock clears, so rewrites reuse its buckets
 	t.memIDs[k] = id
+	//sched:lint-ignore noalloc steady-state: the insertion log's capacity converges on the largest block's unique-expression count
+	t.memKeys = append(t.memKeys, k)
 	return id
 }
 

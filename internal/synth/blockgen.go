@@ -1,6 +1,28 @@
 package synth
 
-import "daginsched/internal/isa"
+import (
+	"math"
+
+	"daginsched/internal/isa"
+)
+
+// genScratch is the recycled working set of block generation: the
+// fill map, the unique-expression set and the position list are reused
+// block to block, so a streaming producer generates an unbounded
+// corpus without per-block scratch allocations. The scratch never
+// influences the rng draw sequence — a generator running on a warm
+// scratch emits bit-identical blocks to one on a fresh scratch.
+type genScratch struct {
+	filled    []bool
+	exprs     []isa.MemExpr
+	positions []int
+	// seen dedups candidate expressions, keyed on the struct itself
+	// (MemExpr is comparable and every field distinguishes addresses):
+	// equivalent to keying on MemExpr.Key() but with no formatting or
+	// string allocation per draw. Its live entries always mirror exprs,
+	// which doubles as the deletion log for the next block's reset.
+	seen map[isa.MemExpr]bool
+}
 
 // blockGen emits the instructions of one synthetic basic block.
 type blockGen struct {
@@ -8,6 +30,7 @@ type blockGen struct {
 	p   Profile
 	n   int // instructions to emit
 	mem int // unique memory expressions to realize
+	sc  *genScratch
 }
 
 // Register pools. Modest sizes force the register reuse (WAR/WAW
@@ -23,14 +46,25 @@ var (
 func (g *blockGen) intReg() isa.Reg { return intRegs[g.r.intn(len(intRegs))] }
 func (g *blockGen) fpReg() isa.Reg  { return fpRegs[g.r.intn(len(fpRegs))] }
 
-// generate lays out the block: an optional cmp+branch tail, memory
-// operations realizing exactly g.mem unique expressions (biased toward
-// the block end under MemLate), and an ALU/FP filler mix everywhere
-// else.
-func (g *blockGen) generate() []isa.Inst {
+// generate lays out the block into dst (recycled when its capacity
+// allows; every position is overwritten, so no zeroing is needed): an
+// optional cmp+branch tail, memory operations realizing exactly g.mem
+// unique expressions (biased toward the block end under MemLate), and
+// an ALU/FP filler mix everywhere else.
+func (g *blockGen) generate(dst []isa.Inst) []isa.Inst {
 	n := g.n
-	insts := make([]isa.Inst, n)
-	filled := make([]bool, n)
+	if cap(dst) < n {
+		dst = make([]isa.Inst, n)
+	}
+	insts := dst[:n]
+	sc := g.sc
+	if cap(sc.filled) < n {
+		sc.filled = make([]bool, n)
+	} else {
+		sc.filled = sc.filled[:n]
+		clear(sc.filled)
+	}
+	filled := sc.filled
 
 	// Branch tail on a fraction of multi-instruction blocks.
 	body := n
@@ -87,8 +121,20 @@ func (g *blockGen) generate() []isa.Inst {
 // benchmark's style: frame slots for the C programs, array/static
 // storage for the Fortran kernels.
 func (g *blockGen) memExprs() []isa.MemExpr {
-	exprs := make([]isa.MemExpr, 0, g.mem)
-	seen := map[string]bool{}
+	sc := g.sc
+	if sc.seen == nil {
+		sc.seen = make(map[isa.MemExpr]bool, g.mem)
+	} else {
+		// Targeted deletes, not clear(): clear walks every bucket the
+		// map ever grew, which a giant block makes every later tiny
+		// block pay for. The previous block's exprs are exactly the
+		// map's entries.
+		for _, e := range sc.exprs {
+			delete(sc.seen, e)
+		}
+	}
+	exprs := sc.exprs[:0]
+	seen := sc.seen
 	for len(exprs) < g.mem {
 		var m isa.MemExpr
 		if g.p.FP {
@@ -109,11 +155,12 @@ func (g *blockGen) memExprs() []isa.MemExpr {
 					Offset: -4 - int32(g.r.intn(256))*4}
 			}
 		}
-		if k := m.Key(); !seen[k] {
-			seen[k] = true
+		if !seen[m] {
+			seen[m] = true
 			exprs = append(exprs, m)
 		}
 	}
+	sc.exprs = exprs
 	return exprs
 }
 
@@ -130,13 +177,13 @@ func (g *blockGen) memPositions(body, count int, filled []bool) []int {
 	if count > body {
 		count = body
 	}
-	out := make([]int, 0, count)
+	out := g.sc.positions[:0]
 	late := g.p.MemLate && body > 600
 	for len(out) < count {
 		var pos int
 		if late {
 			u := float64(g.r.next()%(1<<20)) / (1 << 20)
-			fromEnd := int(float64(body) * u * u * sqrt(u))
+			fromEnd := int(float64(body) * u * u * math.Sqrt(u))
 			pos = body - 1 - fromEnd
 			if pos < 0 {
 				pos = 0
@@ -149,20 +196,8 @@ func (g *blockGen) memPositions(body, count int, filled []bool) []int {
 			out = append(out, pos)
 		}
 	}
+	g.sc.positions = out
 	return out
-}
-
-// sqrt is a tiny Newton square root for the placement law (avoids a
-// math import for one call site).
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	z := x
-	for i := 0; i < 20; i++ {
-		z = (z + x/z) / 2
-	}
-	return z
 }
 
 // memInst builds a load or store on expression e.

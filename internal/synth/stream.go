@@ -1,0 +1,125 @@
+// Streaming corpus generation: the constant-memory producer side of
+// the engine's RunStream pipeline. Generate materializes a whole
+// benchmark at once; Stream and StreamCorpus emit the same blocks one
+// at a time onto a channel, recycling block storage from a caller-fed
+// freelist, so an arbitrarily long synthetic stream occupies only the
+// blocks currently in flight — RSS is bounded by the consumer's queue
+// depth, never by the instruction total.
+package synth
+
+import (
+	"context"
+
+	"daginsched/internal/block"
+)
+
+// passStride reseeds each generation pass: pass k of a profile runs on
+// Seed + k·passStride (the SplitMix64 gamma, so consecutive passes land
+// in well-separated stream positions). Pass 0 therefore runs on Seed
+// itself and emits exactly the blocks Generate returns.
+const passStride = 0x9e3779b97f4a7c15
+
+// Stream emits the profile's corpus onto out, recycling storage from
+// free, until at least minInsts instructions have been emitted —
+// repeating the corpus on reseeded generation passes as needed — or a
+// single pass when minInsts <= 0. See StreamCorpus for the contract.
+func (p Profile) Stream(ctx context.Context, minInsts int64, out chan<- *block.Block, free <-chan *block.Block) (blocks, insts int64, err error) {
+	return StreamCorpus(ctx, []Profile{p}, minInsts, out, free)
+}
+
+// GeneratePass materializes generation pass k: the exact blocks
+// StreamCorpus emits for this profile on its k-th cycle through the
+// profile list. GeneratePass(0) is Generate. It exists so batch-mode
+// yardsticks can schedule the same fresh-content sequence a stream
+// sees instead of re-running one corpus against a warm cache.
+func (p Profile) GeneratePass(pass uint64) []*block.Block {
+	return p.generateSeeded(p.Seed + pass*passStride)
+}
+
+// StreamCorpus cycles through profiles emitting generated blocks onto
+// out until at least minInsts instructions have been emitted (stopping
+// at the first block boundary past the target), or for exactly one
+// pass over every profile when minInsts <= 0. Pass 0 of each profile
+// is bit-identical to its Generate corpus; later passes rerun the
+// generator on a reseeded stream, so a long run is not one corpus
+// served from cache but a continuing supply of fresh blocks.
+//
+// Block storage is recycled: each emission first tries a non-blocking
+// receive from free (a freelist the consumer feeds with blocks it has
+// finished with — nil if the caller does not recycle) and only
+// allocates when the freelist is dry. In the steady state the blocks
+// in circulation are exactly those in the consumer's queues, which is
+// what bounds the producer's memory. out is closed on return. A
+// cancelled ctx stops the stream at the next block boundary and
+// returns ctx's error along with the tallies so far.
+func StreamCorpus(ctx context.Context, profiles []Profile, minInsts int64, out chan<- *block.Block, free <-chan *block.Block) (blocks, insts int64, err error) {
+	defer close(out)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(profiles) == 0 {
+		return 0, 0, nil
+	}
+	done := ctx.Done()
+	sc := &genScratch{}
+	// Block names depend only on (profile, index), not the pass, so
+	// they are interned on pass 0 and reused — without this a long run
+	// allocates a fresh name string per emitted block.
+	names := make([][]string, len(profiles))
+	for pi := range profiles {
+		names[pi] = make([]string, profiles[pi].Blocks)
+	}
+	for pass := uint64(0); ; pass++ {
+		for pi, p := range profiles {
+			r := &rng{s: p.Seed + pass*passStride}
+			sizes := p.blockSizes(r)
+			memCounts := p.memCounts(r, sizes)
+			start := 0
+			for i, n := range sizes {
+				var b *block.Block
+				select {
+				case b = <-free:
+					// A recycled block that once carried a giant keeps
+					// the giant's backing array; parked under a tiny
+					// block that storage is dead weight, and over many
+					// passes the freelist would fatten toward
+					// every-slot-giant. Release grossly oversized
+					// storage and let generate right-size it.
+					if c := cap(b.Insts); c > 4096 && c > 4*n {
+						b.Insts = nil
+					}
+				default:
+					b = &block.Block{}
+				}
+				g := &blockGen{r: r, p: p, n: n, mem: memCounts[i], sc: sc}
+				b.Insts = g.generate(b.Insts[:0])
+				if i < len(names[pi]) {
+					if names[pi][i] == "" {
+						names[pi][i] = blockName(p.Name, i)
+					}
+					b.Name = names[pi][i]
+				} else {
+					b.Name = blockName(p.Name, i)
+				}
+				b.Start = start
+				for j := range b.Insts {
+					b.Insts[j].Index = j
+				}
+				start += n
+				select {
+				case out <- b:
+				case <-done:
+					return blocks, insts, ctx.Err()
+				}
+				blocks++
+				insts += int64(n)
+				if minInsts > 0 && insts >= minInsts {
+					return blocks, insts, nil
+				}
+			}
+		}
+		if minInsts <= 0 {
+			return blocks, insts, nil
+		}
+	}
+}

@@ -100,14 +100,21 @@ func (r *rng) intn(n int) int {
 // expressions match the profile exactly (memory averages to within the
 // rounding the fix-up distribution allows).
 func (p Profile) Generate() []*block.Block {
-	r := &rng{s: p.Seed}
+	return p.generateSeeded(p.Seed)
+}
+
+// generateSeeded is Generate on an explicit seed (GeneratePass uses
+// reseeded streams for later passes).
+func (p Profile) generateSeeded(seed uint64) []*block.Block {
+	r := &rng{s: seed}
 	sizes := p.blockSizes(r)
 	memCounts := p.memCounts(r, sizes)
 	blocks := make([]*block.Block, len(sizes))
+	sc := &genScratch{}
 	start := 0
 	for i, n := range sizes {
-		g := &blockGen{r: r, p: p, n: n, mem: memCounts[i]}
-		insts := g.generate()
+		g := &blockGen{r: r, p: p, n: n, mem: memCounts[i], sc: sc}
+		insts := g.generate(nil)
 		b := &block.Block{Name: blockName(p.Name, i), Start: start}
 		b.Insts = insts
 		for j := range b.Insts {

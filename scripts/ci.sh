@@ -11,10 +11,17 @@
 # under -race), the chaos gate (a seeded fault plan firing builder
 # panics, arc corruptions, cache bitflips and stalls at an 8-worker
 # pool under -race, with every block required to come back
-# byte-identical to a fault-free run; see DESIGN.md §9), a short
-# native-fuzz smoke over the build→schedule→gate pipeline, and
-# one-iteration benchmark smoke runs over the engine, DAG-builder and
-# heuristic benchmarks that check the zero-allocation steady state.
+# byte-identical to a fault-free run; see DESIGN.md §9), the streaming
+# gates (RunStream byte-identity to batch at several worker counts,
+# cancellation, faulted streams and the bounded-memory test, all under
+# -race, plus producer/scanner equivalence tests; see DESIGN.md §10),
+# the perf-regression gate (a fresh -parallel + -stream measurement
+# diffed against the committed BENCH_engine.json inside a tolerance
+# band, with a self-test first proving the gate catches injected
+# regressions), a short native-fuzz smoke over the
+# build→schedule→gate pipeline, and one-iteration benchmark smoke runs
+# over the engine, DAG-builder and heuristic benchmarks that check the
+# zero-allocation steady state.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -40,6 +47,19 @@ go test -race -run '^TestAdaptiveMatchesFixed$' ./internal/engine
 echo "== chaos gate (workers=8, -race)"
 go test -race -run '^TestEngineChaosLadder$|^TestEngineChaosDeterminism$' ./internal/engine
 go run ./cmd/schedbench -chaos -bench grep -workers 8
+
+echo "== streaming gates (-race)"
+go test -race -run '^TestRunStream|^TestStreamHistogram' ./internal/engine
+go test -race -run '^TestStream|^TestGeneratePass|^TestCorpusDeterminismPin' ./internal/synth
+go test -race -run '^TestScanner|^TestStreamBlocks' ./internal/asm
+
+echo "== perf-regression gate"
+go run ./cmd/schedbench -diffselftest
+FRESH_JSON="$(mktemp)"
+trap 'rm -f "$FRESH_JSON"' EXIT
+go run ./cmd/schedbench -parallel -json "$FRESH_JSON" > /dev/null
+go run ./cmd/schedbench -stream -insts 2e6 -json "$FRESH_JSON" > /dev/null
+go run ./cmd/schedbench -diff "$FRESH_JSON"
 
 echo "== fuzz smoke (30s)"
 go test -fuzz '^FuzzBuildSchedule$' -fuzztime 30s -run '^$' ./internal/engine
