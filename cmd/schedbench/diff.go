@@ -51,6 +51,24 @@ func readEngineFile(path string) (*engineFile, error) {
 	return doc, nil
 }
 
+// readEngineFileForMerge loads an engine JSON document a report
+// section will be merged into. A missing or empty file — mktemp
+// creates empty files, and CI hands those straight to -json — is a
+// fresh document, not an error; anything else malformed still is.
+func readEngineFileForMerge(path string) (*engineFile, error) {
+	doc, err := readEngineFile(path)
+	if err == nil {
+		return doc, nil
+	}
+	if os.IsNotExist(err) {
+		return &engineFile{}, nil
+	}
+	if info, statErr := os.Stat(path); statErr == nil && info.Size() == 0 {
+		return &engineFile{}, nil
+	}
+	return nil, err
+}
+
 // writeEngineFile encodes and writes an engine JSON document.
 func writeEngineFile(path string, doc *engineFile) error {
 	data, err := json.MarshalIndent(doc, "", "  ")

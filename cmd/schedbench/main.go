@@ -15,6 +15,8 @@
 //	           [-bench name]
 //	schedbench -stream [-insts 100e6] [-depth N] [-workers N]
 //	           [-bench name] [-json BENCH_engine.json]
+//	schedbench -cachefile sched.cache [-warmexpect 0.99] [-workers N]
+//	           [-json BENCH_engine.json]
 //	schedbench -diff fresh.json [-json BENCH_engine.json]
 //	           [-tolerance 0.5]
 //	schedbench -diffselftest [-json BENCH_engine.json] [-tolerance 0.5]
@@ -48,6 +50,13 @@
 // -insts instructions have flowed through, and steady-state
 // throughput, queue occupancy and the RSS high-water mark are merged
 // into the engine JSON alongside a batch-mode yardstick.
+//
+// -cachefile runs the warm-start benchmark (see warmstart.go): one
+// engine populates (or is served from) the persistent schedule-cache
+// file, a fresh engine reopens it, and the report states the
+// cold→warm latency and throughput deltas after proving the warm
+// schedules byte-identical to a cache-disabled reference. -warmexpect
+// turns the first pass into CI's cross-process persistence gate.
 //
 // -diff and -diffselftest are the perf-regression gate (see diff.go):
 // a fresh engine JSON is compared against the committed baseline with
@@ -122,6 +131,8 @@ func run() (code int) {
 		seed     = flag.Uint64("seed", 1, "fault-plan seed for -chaos")
 		rate     = flag.Float64("faultrate", 0.08, "per-point injection rate for -chaos, in [0, 1]")
 		stream   = flag.Bool("stream", false, "benchmark the streaming engine pipeline (RunStream) over the synthetic producer")
+		cacheFn  = flag.String("cachefile", "", "persistent schedule-cache file: run the warm-start benchmark against it (populate, reopen in a fresh engine, compare)")
+		warmExp  = flag.Float64("warmexpect", 0, "fail unless -cachefile's first pass is served from the file with at least this hit rate (0 disables; CI's cross-process gate)")
 		insts    = flag.Float64("insts", 2e6, "instruction target for -stream (scientific notation welcome: -insts 100e6)")
 		depth    = flag.Int("depth", 0, "bounded queue depth in blocks for -stream (0 = engine default)")
 		diffPath = flag.String("diff", "", "fresh engine JSON to gate against the -json baseline; exit 3 on perf regression")
@@ -130,8 +141,14 @@ func run() (code int) {
 	)
 	flag.Parse()
 	if !*t3 && !*t4 && !*t5 && !*fig1 && !*quality && !*optim && !*winners && !*scaling && !*ablate &&
-		!*par && !*chaos && !*stream && *diffPath == "" && !*selftest {
+		!*par && !*chaos && !*stream && *cacheFn == "" && *diffPath == "" && !*selftest {
 		*all = true
+	}
+	if *warmExp < 0 || *warmExp > 1 {
+		return fail(exitUsage, "-warmexpect %v outside [0, 1]", *warmExp)
+	}
+	if *warmExp > 0 && *cacheFn == "" {
+		return fail(exitUsage, "-warmexpect needs -cachefile")
 	}
 	m, ok := machine.ByName(*model)
 	if !ok {
@@ -259,6 +276,15 @@ func run() (code int) {
 			return fail(exitRuntime, "stream: %v", err)
 		}
 	}
+	if *cacheFn != "" {
+		cfg := parallelConfig{
+			workers: *workers, builder: *builder, verify: *verify, csr: *csr,
+			cache: *cache, adaptive: *adaptive, crossover: *cross, chunk: *chunk,
+		}
+		if err := runWarmstart(sets, m, *model, cfg, *cacheFn, *warmExp, *jsonOut); err != nil {
+			return fail(exitRuntime, "warm start: %v", err)
+		}
+	}
 	if *chaos {
 		if err := runChaos(sets, m, chaosConfig{seed: *seed, rate: *rate, workers: *workers}); err != nil {
 			return fail(exitRuntime, "chaos gate: %v", err)
@@ -310,6 +336,9 @@ type engineFile struct {
 	// Stream is the -stream run's section, written by mergeStreamReport
 	// and preserved across -parallel rewrites of the document.
 	Stream *streamReport `json:"stream,omitempty"`
+	// Warmstart is the -cachefile run's section, written by
+	// mergeWarmstartReport and likewise preserved.
+	Warmstart *warmstartReport `json:"warmstart,omitempty"`
 }
 
 // parallelConfig carries the -parallel flag group.
@@ -432,9 +461,11 @@ func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string,
 		}
 	}
 
-	// A -stream section recorded by an earlier run rides along.
+	// -stream and -cachefile sections recorded by earlier runs ride
+	// along.
 	if old, err := readEngineFile(jsonPath); err == nil {
 		doc.Stream = old.Stream
+		doc.Warmstart = old.Warmstart
 	}
 	if err := writeEngineFile(jsonPath, &doc); err != nil {
 		return err

@@ -208,12 +208,9 @@ func runStream(m *machine.Model, modelName string, cfg parallelConfig, insts flo
 // mergeStreamReport writes rep into the Stream slot of the engine
 // JSON document, preserving an existing document's batch sections.
 func mergeStreamReport(jsonPath string, rep *streamReport) error {
-	doc, err := readEngineFile(jsonPath)
+	doc, err := readEngineFileForMerge(jsonPath)
 	if err != nil {
-		if !os.IsNotExist(err) {
-			return err
-		}
-		doc = &engineFile{}
+		return err
 	}
 	doc.Stream = rep
 	if err := writeEngineFile(jsonPath, doc); err != nil {

@@ -344,3 +344,65 @@ func TestSmokeSchedbenchStreamAndDiff(t *testing.T) {
 	}
 	requireDiagnostic(t, "schedbench", out2)
 }
+
+func TestSmokeSchedbenchCachefile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	cachePath := filepath.Join(dir, "sched.cache")
+	jsonPath := filepath.Join(dir, "engine.json")
+	// An existing empty JSON file (what mktemp hands CI) must be
+	// treated as a fresh document, not a parse error.
+	if err := os.WriteFile(jsonPath, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runTool(t, "", "schedbench", "-cachefile", cachePath,
+		"-bench", "grep", "-json", jsonPath)
+	for _, want := range []string{"Warm-start benchmark", "byte-identical", "warm-start statistics merged"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schedbench -cachefile missing %q:\n%s", want, out)
+		}
+	}
+
+	// Second process over the same file: the gate demands the first
+	// pass itself be served from disk.
+	out = runTool(t, "", "schedbench", "-cachefile", cachePath,
+		"-warmexpect", "0.99", "-bench", "grep", "-json", jsonPath)
+	if !strings.Contains(out, "byte-identical") {
+		t.Errorf("schedbench -cachefile -warmexpect:\n%s", out)
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Warmstart *struct {
+			Blocks      int     `json:"blocks"`
+			WarmHitRate float64 `json:"warm_hit_rate"`
+		} `json:"warmstart"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("engine JSON malformed: %v\n%s", err, data)
+	}
+	if doc.Warmstart == nil || doc.Warmstart.Blocks == 0 || doc.Warmstart.WarmHitRate < 0.99 {
+		t.Fatalf("warmstart section wrong: %+v", doc.Warmstart)
+	}
+
+	schedbench := buildTool(t, "schedbench")
+	// -warmexpect against a file no process populated must fail with a
+	// one-line diagnostic.
+	freshCache := filepath.Join(dir, "fresh.cache")
+	out2, code := runToolErr(t, "", schedbench, "-cachefile", freshCache,
+		"-warmexpect", "0.99", "-bench", "grep", "-json", jsonPath)
+	if code != 1 {
+		t.Errorf("unpopulated -warmexpect exit code %d, want 1\n%s", code, out2)
+	}
+	out2, code = runToolErr(t, "", schedbench, "-warmexpect", "0.5")
+	if code != 2 {
+		t.Errorf("-warmexpect without -cachefile exit code %d, want 2\n%s", code, out2)
+	}
+	requireDiagnostic(t, "schedbench", out2)
+}

@@ -11,6 +11,8 @@
 //   - a return from an exported function or method of a package
 //     outside the arena-owning trio (dag, bitset, buf) — the "engine
 //     boundary": exported API must copy, never leak worker scratch.
+//     diskcache's mmap-backed views are held to the same rule without
+//     owner status: its exported API must copy out of the mapping.
 //
 // Taint is intra-procedural: a value is arena-derived if it is
 // assigned from an expression containing an arena-source call or a
@@ -36,6 +38,13 @@ var arenaSourceMethods = map[string]map[string]bool{
 		"Succs": true, "Preds": true, "SuccArcs": true, "PredArcs": true,
 	},
 	"internal/bitset": {"Carve": true},
+	// diskcache's i32s is an unsafe.Slice view straight into the mmap
+	// region: valid only until Close unmaps it, and mutable by other
+	// processes. It must never be stored globally or returned across
+	// diskcache's exported boundary (Lookup copies into the caller's
+	// Entry scratch instead) — and diskcache is deliberately NOT an
+	// arena-owner package, so that boundary rule is enforced.
+	"internal/diskcache": {"i32s": true},
 }
 
 // arenaOwnerPkgs are the packages whose exported API legitimately

@@ -22,6 +22,7 @@ var DefaultHotBenchPackages = []string{
 	"internal/sched",
 	"internal/engine",
 	"internal/bitset",
+	"internal/diskcache",
 }
 
 // HotBenchPackages is the active list; tests override it to point at

@@ -1,0 +1,812 @@
+// Package diskcache is the persistent tier of the engine's two-tier
+// schedule cache: an append-only, memory-mapped, content-keyed file of
+// memoized block schedules shared across processes and engine
+// restarts. The in-process striped cache (internal/engine's L1) keeps
+// the hottest entries behind per-shard mutexes; this file is the L2
+// underneath it, so a fresh process reopening a populated cache file
+// starts warm instead of recomputing every schedule.
+//
+// Persistence is safe by construction, not by trust: keys are the
+// engine's canonical length-delimited block encodings (content, not
+// identity), every entry carries a 64-bit checksum over its decoded
+// fields, and every lookup re-validates both the full key and the
+// checksum against the caller's scratch copy — a corrupt, torn or
+// stale entry reads as a miss, never as a wrong schedule. On top of
+// that, the engine's always-on legality gate re-checks every served
+// schedule, so even a checksum-colliding corruption cannot surface an
+// illegal order.
+//
+// # File format
+//
+//	header   4096 B   magic, version, geometry, header checksum;
+//	                  tail and open-count are the two mutable words
+//	index    8 B/slot open-addressed buckets: each slot is the absolute
+//	                  file offset of an entry (0 empty, 1 tombstone),
+//	                  published with a single atomic store
+//	data     dataCap  append-only length-delimited entries
+//
+// Each entry is 8-byte aligned:
+//
+//	fp u64 · keyLen u32 · n u32 · cycles i32 · arcs i32 · sum u64
+//	key [keyLen]B (padded to 4) · order [n]i32 · issue [n]i32
+//
+// # Crash safety
+//
+// Writers (serialized by flock across processes and a mutex within
+// one) append entry bytes at the tail, advance the tail word, then
+// publish the offset into its index slot with one atomic store —
+// readers therefore never observe a torn entry through the index. A
+// crash between those steps loses at most the entry being written:
+// the open-count word stays nonzero when a writer dies, and the next
+// writable Open rebuilds the index by scanning the data region
+// entry-by-entry, truncating the tail at the first entry that fails
+// its checksum ("recovery truncates any partial tail"). A header that
+// fails validation (bad magic, version mismatch, impossible geometry,
+// truncated file) is recreated empty by a writable Open and rejected
+// with ErrCorrupt by a read-only one.
+//
+// Readers take no locks on the hot path: probe slots are loaded
+// atomically, entry bytes are copied into caller-owned scratch, and
+// all validation (key compare, checksum) runs on the copy, so a
+// concurrent recovery in another process can at worst turn a hit into
+// a miss.
+package diskcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// ErrCorrupt is returned by a read-only Open of a file that fails
+// header validation; errors.Is(err, ErrCorrupt) distinguishes "the
+// cache file is damaged" from I/O failures. A writable Open never
+// returns it — it recreates the file instead (a cache is always safe
+// to lose).
+var ErrCorrupt = errors.New("diskcache: corrupt cache file")
+
+// ErrFull is returned by Append when the data region or the probed
+// index window has no room. The caller simply stops memoizing; lookups
+// keep working.
+var ErrFull = errors.New("diskcache: cache file full")
+
+// ErrReadOnly is returned by mutating calls on a read-only cache.
+var ErrReadOnly = errors.New("diskcache: cache opened read-only")
+
+const (
+	version = 1
+
+	headerSize = 4096
+	indexOff   = headerSize
+	slotSize   = 8
+
+	// Header field offsets. magic..dataCap are immutable and covered
+	// by headerSum; tail and openCount are the two mutable words.
+	offMagic     = 0
+	offVersion   = 8
+	offBuckets   = 12
+	offDataCap   = 16
+	offHeaderSum = 24
+	offTail      = 32
+	offOpenCount = 40
+
+	// entryHeader is the fixed prefix before the key/order/issue
+	// payload: fp, keyLen, n, cycles, arcs, sum.
+	entryHeader = 32
+
+	// tombstone marks a removed slot: probes skip it, inserts reuse it.
+	// Real offsets are >= dataStart > headerSize, so 1 cannot collide.
+	tombstone = 1
+
+	// maxProbe bounds both lookup and insert probe sequences; an insert
+	// that finds no slot within the window reports ErrFull.
+	maxProbe = 64
+
+	// maxKeyLen / maxNodes bound the sanity checks decoding untrusted
+	// length fields; both are far above any real block.
+	maxKeyLen = 1 << 24
+	maxNodes  = 1 << 24
+
+	defaultBuckets = 1 << 16
+	defaultData    = 256 << 20
+)
+
+var magic = [8]byte{'S', 'C', 'H', 'D', 'C', 'A', 'C', 'H'}
+
+// Options configures Open. Geometry fields apply only when the file is
+// created (or recreated after corruption); opening an existing healthy
+// file adopts the geometry stored in its header.
+type Options struct {
+	// Buckets is the index slot count, rounded up to a power of two;
+	// <= 0 means 65536.
+	Buckets int
+	// DataBytes is the data-region capacity; <= 0 means 256 MiB. The
+	// file is created sparse, so unused capacity costs address space,
+	// not disk.
+	DataBytes int64
+	// ReadOnly opens the file for lookups only: no appends, no
+	// removals, no recovery, and corruption is reported (ErrCorrupt)
+	// rather than repaired.
+	ReadOnly bool
+}
+
+// Cache is one open handle on a schedule-cache file. Lookups are safe
+// from any number of goroutines without locking; Append, AppendBatch,
+// Remove and Close serialize on an internal mutex (and on flock across
+// processes).
+type Cache struct {
+	f  *os.File
+	mm []byte
+	ro bool
+
+	buckets   uint32
+	dataStart int64
+	dataEnd   int64 // dataStart + dataCap
+
+	// mu serializes in-process writers; flock serializes cross-process
+	// ones. Lookups take neither.
+	mu     sync.Mutex
+	closed bool //sched:guarded-by mu
+}
+
+// Record is one schedule to memoize, the unit of AppendBatch.
+type Record struct {
+	Fp           uint64
+	Key          []byte
+	Order, Issue []int32
+	Cycles, Arcs int32
+}
+
+// Entry is the caller-owned scratch a Lookup decodes into. Reuse one
+// per worker: the slices grow to the largest entry seen and are then
+// recycled, which is what keeps the steady-state hit path
+// allocation-free.
+type Entry struct {
+	Key          []byte
+	Order, Issue []int32
+	Cycles, Arcs int32
+}
+
+// Open opens (or creates) the cache file at path. A writable open
+// validates the header — recreating the file when it is damaged — and,
+// when the open-count word shows a writer died holding the file,
+// rebuilds the index from the data region, truncating any partial
+// tail. A read-only open validates and maps, rejecting damage with
+// ErrCorrupt.
+func Open(path string, opts Options) (*Cache, error) {
+	buckets := uint32(defaultBuckets)
+	if opts.Buckets > 0 {
+		buckets = ceilPow2(uint32(opts.Buckets))
+	}
+	dataCap := int64(defaultData)
+	if opts.DataBytes > 0 {
+		dataCap = (opts.DataBytes + 7) &^ 7
+	}
+
+	flag, lock := os.O_RDWR|os.O_CREATE, syscall.LOCK_EX
+	if opts.ReadOnly {
+		flag, lock = os.O_RDONLY, syscall.LOCK_SH
+	}
+	f, err := os.OpenFile(path, flag, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), lock); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskcache: flock %s: %w", path, err)
+	}
+	c, err := openLocked(f, opts.ReadOnly, buckets, dataCap)
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// openLocked validates/initializes the file and maps it; the flock is
+// held by the caller for the duration.
+func openLocked(f *os.File, ro bool, buckets uint32, dataCap int64) (*Cache, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	reason := ""
+	switch {
+	case st.Size() == 0:
+		reason = "empty"
+	case st.Size() < headerSize:
+		reason = "truncated header"
+	default:
+		var hdr [headerSize]byte
+		if _, err := f.ReadAt(hdr[:offTail], 0); err != nil {
+			return nil, err
+		}
+		reason = validateHeader(hdr[:offTail], st.Size())
+		if reason == "" {
+			buckets = binary.LittleEndian.Uint32(hdr[offBuckets:])
+			dataCap = int64(binary.LittleEndian.Uint64(hdr[offDataCap:]))
+		}
+	}
+	if reason != "" {
+		if ro {
+			return nil, fmt.Errorf("%w: %s", ErrCorrupt, reason)
+		}
+		if err := initFile(f, buckets, dataCap); err != nil {
+			return nil, err
+		}
+	}
+
+	dataStart := int64(indexOff) + int64(buckets)*slotSize
+	size := dataStart + dataCap
+	prot := syscall.PROT_READ
+	if !ro {
+		prot |= syscall.PROT_WRITE
+	}
+	mm, err := syscall.Mmap(int(f.Fd()), 0, int(size), prot, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: mmap %s: %w", f.Name(), err)
+	}
+	c := &Cache{f: f, mm: mm, ro: ro, buckets: buckets, dataStart: dataStart, dataEnd: size}
+	if !ro {
+		// A nonzero open count means a writer died (or is live) with
+		// the file open: rebuild the index from the data region. The
+		// count is reset by the rebuild, then re-incremented for us.
+		if atomic.LoadUint64(c.word(offOpenCount)) != 0 {
+			c.recover()
+		}
+		atomic.AddUint64(c.word(offOpenCount), 1)
+	}
+	return c, nil
+}
+
+// validateHeader returns "" for a healthy header, or the reason it is
+// not. fileSize is checked against the geometry the header declares.
+func validateHeader(hdr []byte, fileSize int64) string {
+	if !bytes.Equal(hdr[offMagic:offMagic+8], magic[:]) {
+		return "bad magic"
+	}
+	if v := binary.LittleEndian.Uint32(hdr[offVersion:]); v != version {
+		return fmt.Sprintf("version %d (want %d)", v, version)
+	}
+	if sum := fnvBytes(fnvOffset, hdr[:offHeaderSum]); sum != binary.LittleEndian.Uint64(hdr[offHeaderSum:]) {
+		return "header checksum mismatch"
+	}
+	buckets := binary.LittleEndian.Uint32(hdr[offBuckets:])
+	dataCap := int64(binary.LittleEndian.Uint64(hdr[offDataCap:]))
+	if buckets == 0 || buckets&(buckets-1) != 0 || dataCap <= 0 {
+		return "impossible geometry"
+	}
+	if want := int64(indexOff) + int64(buckets)*slotSize + dataCap; fileSize != want {
+		return fmt.Sprintf("file is %d bytes, geometry says %d", fileSize, want)
+	}
+	return ""
+}
+
+// initFile (re)creates an empty cache file with the given geometry.
+func initFile(f *os.File, buckets uint32, dataCap int64) error {
+	size := int64(indexOff) + int64(buckets)*slotSize + dataCap
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	copy(hdr[offMagic:], magic[:])
+	binary.LittleEndian.PutUint32(hdr[offVersion:], version)
+	binary.LittleEndian.PutUint32(hdr[offBuckets:], buckets)
+	binary.LittleEndian.PutUint64(hdr[offDataCap:], uint64(dataCap))
+	binary.LittleEndian.PutUint64(hdr[offHeaderSum:], fnvBytes(fnvOffset, hdr[:offHeaderSum]))
+	tail := int64(indexOff) + int64(buckets)*slotSize
+	binary.LittleEndian.PutUint64(hdr[offTail:], uint64(tail))
+	// openCount starts at zero; openLocked increments it after mapping.
+	_, err := f.WriteAt(hdr[:], 0)
+	return err
+}
+
+// Close releases the mapping and, for a writable handle, decrements
+// the open-count word under flock so a clean shutdown leaves the file
+// marked consistent. Callers must drain their own writers first.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if !c.ro {
+		fd := int(c.f.Fd())
+		if err := syscall.Flock(fd, syscall.LOCK_EX); err == nil {
+			if n := atomic.LoadUint64(c.word(offOpenCount)); n > 0 {
+				atomic.StoreUint64(c.word(offOpenCount), n-1)
+			}
+			syscall.Flock(fd, syscall.LOCK_UN)
+		}
+	}
+	err := syscall.Munmap(c.mm)
+	c.mm = nil
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ReadOnly reports whether the handle was opened read-only.
+func (c *Cache) ReadOnly() bool { return c.ro }
+
+// word returns the mutable header word at offset off for atomic
+// access. The mapping is page-aligned and every word offset is a
+// multiple of 8, so the alignment atomic ops require always holds.
+//
+//sched:noalloc
+func (c *Cache) word(off int64) *uint64 {
+	return (*uint64)(unsafe.Pointer(&c.mm[off]))
+}
+
+// slot returns index slot i for atomic access.
+//
+//sched:noalloc
+func (c *Cache) slot(i uint32) *uint64 {
+	return c.word(indexOff + int64(i)*slotSize)
+}
+
+// Lookup probes for (fp, key) and, on a hit, decodes the entry
+// straight from the mapping into dst's recycled scratch — one copy, no
+// allocations once dst has grown. Validation is exact and runs on the
+// scratch copy: the full key must match byte-for-byte and the entry
+// checksum must agree, so hash collisions, torn entries and bit flips
+// all read as misses. The mapped bytes never escape: dst owns plain
+// heap slices and nothing aliases the mapping after return.
+//
+//sched:noalloc
+func (c *Cache) Lookup(fp uint64, key []byte, dst *Entry) bool {
+	mask := c.buckets - 1
+	idx := uint32(fp) & mask
+	for p := uint32(0); p < maxProbe; p++ {
+		v := atomic.LoadUint64(c.slot((idx + p) & mask))
+		if v == 0 {
+			return false
+		}
+		if v == tombstone {
+			continue
+		}
+		off := int64(v)
+		if off%8 != 0 || off < c.dataStart || off+entryHeader > c.dataEnd {
+			continue // corrupt slot: skip, recovery will reap it
+		}
+		if c.u64(off) != fp {
+			continue // different fingerprint sharing the bucket window
+		}
+		if c.decode(off, key, dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// decode copies the entry at off into dst and validates key and
+// checksum on the copy. It reports false for a key mismatch (a 64-bit
+// fingerprint collision) or any corruption.
+//
+//sched:noalloc
+func (c *Cache) decode(off int64, key []byte, dst *Entry) bool {
+	keyLen := int(c.u32(off + 8))
+	n := int(c.u32(off + 12))
+	if keyLen != len(key) || keyLen > maxKeyLen || n < 0 || n > maxNodes {
+		return false
+	}
+	keyOff := off + entryHeader
+	orderOff := keyOff + int64(pad4(keyLen))
+	issueOff := orderOff + 4*int64(n)
+	if issueOff+4*int64(n) > c.dataEnd {
+		return false
+	}
+	if cap(dst.Key) < keyLen {
+		dst.Key = make([]byte, keyLen)
+	}
+	dst.Key = dst.Key[:keyLen]
+	copy(dst.Key, c.mm[keyOff:keyOff+int64(keyLen)])
+	if cap(dst.Order) < n {
+		dst.Order = make([]int32, n)
+	}
+	dst.Order = dst.Order[:n]
+	copy(dst.Order, c.i32s(orderOff, n))
+	if cap(dst.Issue) < n {
+		dst.Issue = make([]int32, n)
+	}
+	dst.Issue = dst.Issue[:n]
+	copy(dst.Issue, c.i32s(issueOff, n))
+	dst.Cycles = int32(c.u32(off + 16))
+	dst.Arcs = int32(c.u32(off + 20))
+	if !bytes.Equal(dst.Key, key) {
+		return false
+	}
+	fp := c.u64(off)
+	sum := foldEntry(fp, dst.Key, dst.Order, dst.Issue, dst.Cycles, dst.Arcs)
+	return sum == c.u64(off+24)
+}
+
+// Append memoizes one schedule; a duplicate (same fingerprint and key,
+// valid checksum) is a no-op. See AppendBatch for the locking cost.
+func (c *Cache) Append(fp uint64, key []byte, order, issue []int32, cycles, arcs int32) error {
+	rec := Record{Fp: fp, Key: key, Order: order, Issue: issue, Cycles: cycles, Arcs: arcs}
+	return c.AppendBatch([]Record{rec})
+}
+
+// AppendBatch memoizes a batch of schedules under one flock
+// acquisition — the write-behind flusher's entry point, amortizing the
+// lock syscalls across the batch. Entries that no longer fit report
+// ErrFull after the ones that do fit have been published.
+func (c *Cache) AppendBatch(recs []Record) error {
+	if c.ro {
+		return ErrReadOnly
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrReadOnly
+	}
+	fd := int(c.f.Fd())
+	if err := syscall.Flock(fd, syscall.LOCK_EX); err != nil {
+		return fmt.Errorf("diskcache: flock: %w", err)
+	}
+	defer syscall.Flock(fd, syscall.LOCK_UN)
+	var firstErr error
+	for i := range recs {
+		if err := c.appendLocked(&recs[i]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// appendLocked writes one record under mu+flock: reserve tail space,
+// write the entry bytes, advance the tail, then publish the offset
+// into the index with a single atomic store (the step that makes the
+// entry visible — and it is the last one, so readers never see a torn
+// entry).
+func (c *Cache) appendLocked(r *Record) error {
+	if len(r.Order) != len(r.Issue) {
+		return fmt.Errorf("diskcache: order/issue length mismatch (%d vs %d)", len(r.Order), len(r.Issue))
+	}
+	mask := c.buckets - 1
+	idx := uint32(r.Fp) & mask
+	free := int64(-1) // first reusable slot (empty or tombstone) in the window
+	var freeSlot uint32
+	for p := uint32(0); p < maxProbe; p++ {
+		s := (idx + p) & mask
+		v := atomic.LoadUint64(c.slot(s))
+		if v == 0 {
+			if free < 0 {
+				free, freeSlot = 0, s
+			}
+			break
+		}
+		if v == tombstone {
+			if free < 0 {
+				free, freeSlot = 0, s
+			}
+			continue
+		}
+		off := int64(v)
+		if off%8 != 0 || off < c.dataStart || off+entryHeader > c.dataEnd {
+			if free < 0 {
+				free, freeSlot = 0, s // corrupt slot: reclaim
+			}
+			continue
+		}
+		if c.u64(off) == r.Fp && c.entryKeyEqual(off, r.Key) {
+			if c.entryValid(off) {
+				return nil // already memoized
+			}
+			free, freeSlot = 0, s // corrupt twin: overwrite its slot
+			break
+		}
+	}
+	if free < 0 {
+		return ErrFull
+	}
+
+	n := len(r.Order)
+	size := int64(pad8(entryHeader + pad4(len(r.Key)) + 8*n))
+	tail := int64(atomic.LoadUint64(c.word(offTail)))
+	if tail < c.dataStart || tail > c.dataEnd {
+		tail = c.dataStart // a corrupt tail word: rewind rather than crash
+	}
+	if tail+size > c.dataEnd {
+		return ErrFull
+	}
+	c.putU64(tail, r.Fp)
+	c.putU32(tail+8, uint32(len(r.Key)))
+	c.putU32(tail+12, uint32(n))
+	c.putU32(tail+16, uint32(r.Cycles))
+	c.putU32(tail+20, uint32(r.Arcs))
+	c.putU64(tail+24, foldEntry(r.Fp, r.Key, r.Order, r.Issue, r.Cycles, r.Arcs))
+	keyOff := tail + entryHeader
+	copy(c.mm[keyOff:], r.Key)
+	orderOff := keyOff + int64(pad4(len(r.Key)))
+	copy(c.i32s(orderOff, n), r.Order)
+	copy(c.i32s(orderOff+4*int64(n), n), r.Issue)
+
+	atomic.StoreUint64(c.word(offTail), uint64(tail+size))
+	atomic.StoreUint64(c.slot(freeSlot), uint64(tail))
+	return nil
+}
+
+// Remove tombstones the slot holding (fp, key): the engine's poisoned-
+// entry propagation, so an entry whose served schedule failed the
+// legality gate cannot be served again. The entry bytes stay in the
+// append-only data region but become unreachable (and are dropped by
+// the next recovery's index rebuild only if also corrupt).
+func (c *Cache) Remove(fp uint64, key []byte) error {
+	if c.ro {
+		return ErrReadOnly
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrReadOnly
+	}
+	fd := int(c.f.Fd())
+	if err := syscall.Flock(fd, syscall.LOCK_EX); err != nil {
+		return fmt.Errorf("diskcache: flock: %w", err)
+	}
+	defer syscall.Flock(fd, syscall.LOCK_UN)
+	mask := c.buckets - 1
+	idx := uint32(fp) & mask
+	for p := uint32(0); p < maxProbe; p++ {
+		s := (idx + p) & mask
+		v := atomic.LoadUint64(c.slot(s))
+		if v == 0 {
+			return nil
+		}
+		if v == tombstone {
+			continue
+		}
+		off := int64(v)
+		if off%8 != 0 || off < c.dataStart || off+entryHeader > c.dataEnd {
+			continue
+		}
+		if c.u64(off) == fp && c.entryKeyEqual(off, key) {
+			atomic.StoreUint64(c.slot(s), tombstone)
+			return nil
+		}
+	}
+	return nil
+}
+
+// recover rebuilds the index from the data region: the index is wiped,
+// entries are re-validated in append order and re-published, and the
+// tail is truncated at the first entry that fails its checksum — the
+// partial tail a dying writer can leave. Runs under the Open flock.
+func (c *Cache) recover() {
+	for i := uint32(0); i < c.buckets; i++ {
+		atomic.StoreUint64(c.slot(i), 0)
+	}
+	end := int64(atomic.LoadUint64(c.word(offTail)))
+	if end < c.dataStart || end > c.dataEnd {
+		end = c.dataEnd // untrusted tail word: scan the whole region
+	}
+	off := c.dataStart
+	for off+entryHeader <= end {
+		keyLen := int(c.u32(off + 8))
+		n := int(c.u32(off + 12))
+		if keyLen == 0 && n == 0 && c.u64(off) == 0 {
+			break // unwritten space
+		}
+		if keyLen < 0 || keyLen > maxKeyLen || n < 0 || n > maxNodes {
+			break
+		}
+		size := int64(pad8(entryHeader + pad4(keyLen) + 8*n))
+		if off+size > end {
+			break // torn tail: the entry ran past the committed region
+		}
+		if !c.entryValid(off) {
+			break // checksum failure: truncate here
+		}
+		c.republish(off)
+		off += size
+	}
+	atomic.StoreUint64(c.word(offTail), uint64(off))
+	atomic.StoreUint64(c.word(offOpenCount), 0)
+}
+
+// republish re-inserts the (already validated) entry at off into the
+// index during recovery; first-wins on duplicate content.
+func (c *Cache) republish(off int64) {
+	fp := c.u64(off)
+	mask := c.buckets - 1
+	idx := uint32(fp) & mask
+	for p := uint32(0); p < maxProbe; p++ {
+		s := (idx + p) & mask
+		v := atomic.LoadUint64(c.slot(s))
+		if v == 0 {
+			atomic.StoreUint64(c.slot(s), uint64(off))
+			return
+		}
+		prev := int64(v)
+		if c.u64(prev) == fp && c.entriesEqualKey(prev, off) {
+			return // first (oldest) entry wins, matching the L1 discipline
+		}
+	}
+}
+
+// entryKeyEqual compares the stored key of the entry at off against
+// key without copying.
+//
+//sched:noalloc
+func (c *Cache) entryKeyEqual(off int64, key []byte) bool {
+	keyLen := int(c.u32(off + 8))
+	if keyLen != len(key) {
+		return false
+	}
+	keyOff := off + entryHeader
+	if keyOff+int64(keyLen) > c.dataEnd {
+		return false
+	}
+	return bytes.Equal(c.mm[keyOff:keyOff+int64(keyLen)], key)
+}
+
+// entriesEqualKey reports whether the entries at offsets a and b store
+// the same key.
+func (c *Cache) entriesEqualKey(a, b int64) bool {
+	la, lb := int(c.u32(a+8)), int(c.u32(b+8))
+	if la != lb || a+entryHeader+int64(la) > c.dataEnd || b+entryHeader+int64(lb) > c.dataEnd {
+		return false
+	}
+	return bytes.Equal(c.mm[a+entryHeader:a+entryHeader+int64(la)], c.mm[b+entryHeader:b+entryHeader+int64(lb)])
+}
+
+// entryValid re-derives the entry's checksum from the mapping and
+// compares it to the stored one. Used by recovery and the writer's
+// duplicate check; the reader path validates on its scratch copy
+// instead (decode), which also defends against concurrent tears.
+func (c *Cache) entryValid(off int64) bool {
+	keyLen := int(c.u32(off + 8))
+	n := int(c.u32(off + 12))
+	if keyLen < 0 || keyLen > maxKeyLen || n < 0 || n > maxNodes {
+		return false
+	}
+	keyOff := off + entryHeader
+	orderOff := keyOff + int64(pad4(keyLen))
+	issueOff := orderOff + 4*int64(n)
+	if issueOff+4*int64(n) > c.dataEnd {
+		return false
+	}
+	sum := foldEntry(c.u64(off), c.mm[keyOff:keyOff+int64(keyLen)],
+		c.i32s(orderOff, n), c.i32s(issueOff, n),
+		int32(c.u32(off+16)), int32(c.u32(off+20)))
+	return sum == c.u64(off+24)
+}
+
+// Len counts the live (non-tombstone) index slots — an O(buckets) scan
+// for tests and reports, not a hot-path statistic.
+func (c *Cache) Len() int {
+	n := 0
+	for i := uint32(0); i < c.buckets; i++ {
+		if v := atomic.LoadUint64(c.slot(i)); v != 0 && v != tombstone {
+			n++
+		}
+	}
+	return n
+}
+
+// Tail returns the data-region append offset (tests and reports).
+func (c *Cache) Tail() int64 { return int64(atomic.LoadUint64(c.word(offTail))) }
+
+// Raw byte accessors over the mapping. Entry bytes are immutable once
+// published and offsets are derived from validated geometry, so plain
+// (non-atomic) loads are safe; cross-goroutine visibility comes from
+// the atomic slot load that yielded the offset.
+
+//sched:noalloc
+func (c *Cache) u64(off int64) uint64 {
+	return binary.LittleEndian.Uint64(c.mm[off : off+8])
+}
+
+//sched:noalloc
+func (c *Cache) u32(off int64) uint32 {
+	return binary.LittleEndian.Uint32(c.mm[off : off+4])
+}
+
+func (c *Cache) putU64(off int64, v uint64) {
+	binary.LittleEndian.PutUint64(c.mm[off:off+8], v)
+}
+
+func (c *Cache) putU32(off int64, v uint32) {
+	binary.LittleEndian.PutUint32(c.mm[off:off+4], v)
+}
+
+// i32s returns the n int32s at off as a slice view over the mapping.
+// off is always 4-aligned by construction (entries are 8-aligned and
+// the key is padded to 4), and the view must never outlive the current
+// operation — callers copy out of it immediately.
+//
+//sched:noalloc
+func (c *Cache) i32s(off int64, n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&c.mm[off])), n)
+}
+
+// foldEntry is the per-entry checksum: FNV-1a folded over every
+// decoded field. Both the writer (from its in-memory record) and the
+// reader (from its scratch copy) derive it from logical values, never
+// raw file bytes, so any byte-level tear or flip that survives into
+// the decode is caught regardless of where it landed.
+//
+//sched:noalloc
+func foldEntry(fp uint64, key []byte, order, issue []int32, cycles, arcs int32) uint64 {
+	h := fnvU64(fnvOffset, fp)
+	h = fnvU32(h, uint32(len(key)))
+	h = fnvU32(h, uint32(len(order)))
+	h = fnvU32(h, uint32(cycles))
+	h = fnvU32(h, uint32(arcs))
+	h = fnvBytes(h, key)
+	for _, v := range order {
+		h = fnvU32(h, uint32(v))
+	}
+	for _, v := range issue {
+		h = fnvU32(h, uint32(v))
+	}
+	return h
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+//sched:noalloc
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}
+
+//sched:noalloc
+func fnvU32(h uint64, v uint32) uint64 {
+	h = (h ^ uint64(v&0xff)) * fnvPrime
+	h = (h ^ uint64(v>>8&0xff)) * fnvPrime
+	h = (h ^ uint64(v>>16&0xff)) * fnvPrime
+	h = (h ^ uint64(v>>24&0xff)) * fnvPrime
+	return h
+}
+
+//sched:noalloc
+func fnvU64(h uint64, v uint64) uint64 {
+	h = fnvU32(h, uint32(v))
+	h = fnvU32(h, uint32(v>>32))
+	return h
+}
+
+// pad4/pad8 round up to the next multiple of 4/8.
+//
+//sched:noalloc
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+//sched:noalloc
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// ceilPow2 rounds v up to a power of two (minimum 64 slots).
+func ceilPow2(v uint32) uint32 {
+	if v < 64 {
+		return 64
+	}
+	v--
+	v |= v >> 1
+	v |= v >> 2
+	v |= v >> 4
+	v |= v >> 8
+	v |= v >> 16
+	return v + 1
+}

@@ -22,16 +22,23 @@ import (
 //
 // The cache is striped into shards, each behind its own mutex, so
 // concurrent workers do not serialize on one lock; it is bounded by a
-// simple per-shard entry cap that resets (clears) the shard when
-// exceeded; and it is exact — a lookup compares the full canonical
-// encoding, so two distinct blocks can never alias, even on a 64-bit
-// hash collision or when one block's encoding is a prefix of
-// another's (the encoding is length-delimited throughout).
+// per-shard CLOCK (second-chance) eviction policy, so a hot working
+// set survives cap pressure instead of being wiped wholesale; and it
+// is exact — a lookup compares the full canonical encoding, so two
+// distinct blocks can never alias, even on a 64-bit hash collision or
+// when one block's encoding is a prefix of another's (the encoding is
+// length-delimited throughout).
+
+// cacheShardBits is the stripe count's log2; the shard selector's
+// shift is derived from it, so changing the stripe count cannot
+// silently desynchronize shard selection (see schedCache.shard and
+// TestCacheShardSelection).
+const cacheShardBits = 4
 
 // cacheShards is the stripe count. 16 shards keep cross-worker
 // contention negligible at the pool sizes the engine runs (mutex
 // acquisitions are ~ns against ~µs block pipelines).
-const cacheShards = 16
+const cacheShards = 1 << cacheShardBits
 
 // defaultCacheCap is the default total entry bound across all shards.
 const defaultCacheCap = 1 << 16
@@ -45,11 +52,24 @@ type cacheEntry struct {
 	cycles int32
 	arcs   int32
 	stats  dag.Stats // filled only when the engine collects DAG stats
+	// ref is the CLOCK reference bit: set by every lookup hit (under
+	// the shard lock), cleared by a passing eviction hand. An entry
+	// with its bit set gets a second chance; one without is evicted.
+	// Guarded by the owning cacheShard's mu — the one mutable field of
+	// an otherwise-immutable entry, and only shard-locked code touches
+	// it.
+	ref bool
 }
 
 type cacheShard struct {
 	mu sync.Mutex
 	m  map[uint64]*cacheEntry //sched:guarded-by mu
+	// ring is the CLOCK of resident hashes (capacity perShard, carved
+	// once at construction) and hand the eviction cursor. A hash whose
+	// entry was removed leaves a stale ring slot behind; the hand
+	// treats such slots as free and reuses them.
+	ring []uint64 //sched:guarded-by mu
+	hand int      //sched:guarded-by mu
 }
 
 // schedCache is the sharded, bounded schedule cache.
@@ -69,14 +89,17 @@ func newSchedCache(capacity int) *schedCache {
 	c := &schedCache{perShard: per}
 	for i := range c.shards {
 		c.shards[i].m = make(map[uint64]*cacheEntry)
+		c.shards[i].ring = make([]uint64, 0, per)
 	}
 	return c
 }
 
 func (c *schedCache) shard(h uint64) *cacheShard {
 	// Use high bits for the stripe so it stays independent of the map's
-	// own low-bit bucketing.
-	return &c.shards[h>>(64-4)]
+	// own low-bit bucketing. The shift is derived from cacheShardBits,
+	// never hard-coded, so the stripe count and the selector cannot
+	// drift apart.
+	return &c.shards[h>>(64-cacheShardBits)]
 }
 
 // lookup returns the entry for (h, key), or nil. The full encoding is
@@ -87,6 +110,13 @@ func (c *schedCache) lookup(h uint64, key []byte) *cacheEntry {
 	s := c.shard(h)
 	s.mu.Lock()
 	e := s.m[h]
+	if e != nil {
+		// The CLOCK reference bit: this entry was wanted, so the next
+		// eviction hand pass spares it once. Set under the shard lock
+		// before the (lock-free) key compare; a hash-colliding miss
+		// refreshing the colliding entry's bit is harmless.
+		e.ref = true
+	}
 	s.mu.Unlock()
 	if e != nil && bytes.Equal(e.key, key) {
 		return e
@@ -94,25 +124,59 @@ func (c *schedCache) lookup(h uint64, key []byte) *cacheEntry {
 	return nil
 }
 
-// insert memoizes e under (h, key). If the shard is at its cap it is
-// reset (cleared) first — the "simple size cap with reset" bound. If
-// another block already occupies hash h (a 64-bit collision, or a
-// concurrent worker winning the race on the same block), the existing
-// entry is kept: first wins, and correctness never depends on an
-// insert landing because hits re-verify the full key.
+// insert memoizes e under (h, key). If another block already occupies
+// hash h (a 64-bit collision, or a concurrent worker winning the race
+// on the same block), the existing entry is kept: first wins, and
+// correctness never depends on an insert landing because hits
+// re-verify the full key.
+//
+// The bound is CLOCK (second-chance) per shard: when the ring is full,
+// the hand sweeps resident entries, clearing reference bits and
+// evicting the first entry found without one. An entry that keeps
+// getting hit keeps getting its bit re-set between hand passes, so a
+// hot working set survives a stream of cold inserts — the failure mode
+// of the old clear-on-cap reset, which wiped hot and cold alike.
 //
 //sched:noalloc
 func (c *schedCache) insert(h uint64, e *cacheEntry) {
 	s := c.shard(h)
 	s.mu.Lock()
-	if len(s.m) >= c.perShard {
-		clear(s.m)
+	defer s.mu.Unlock()
+	if _, exists := s.m[h]; exists {
+		return
 	}
-	if _, exists := s.m[h]; !exists {
+	if len(s.ring) < cap(s.ring) {
+		// Below cap: take a fresh ring slot, no eviction.
+		//sched:lint-ignore noalloc ring was carved with cap perShard at construction; this append never grows it
+		s.ring = append(s.ring, h)
 		//sched:lint-ignore noalloc map insert is the cache's one sanctioned allocation, bounded by perShard and amortized across hits
 		s.m[h] = e
+		return
 	}
-	s.mu.Unlock()
+	// CLOCK sweep: a stale slot (its hash was removed) is free; a live
+	// entry with its reference bit set is spared once; the first live
+	// entry without one is evicted. The sweep terminates: each step
+	// either stops or clears a bit, and bits are not re-set under this
+	// shard's lock while we hold it.
+	for {
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+		old := s.m[s.ring[s.hand]]
+		if old == nil {
+			break // stale slot: reuse without evicting anything
+		}
+		if !old.ref {
+			delete(s.m, s.ring[s.hand])
+			break
+		}
+		old.ref = false
+		s.hand++
+	}
+	s.ring[s.hand] = h
+	s.hand++
+	//sched:lint-ignore noalloc map insert is the cache's one sanctioned allocation, bounded by perShard and amortized across hits
+	s.m[h] = e
 }
 
 // remove drops the entry memoized under (h, key): the hardened

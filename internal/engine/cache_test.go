@@ -90,10 +90,10 @@ func TestCacheKeyPrefixNoAlias(t *testing.T) {
 	}
 }
 
-// TestCacheCapReset checks the bound: however many distinct blocks flow
-// through, the entry count never exceeds the configured cap (a full
-// shard is cleared before the next insert).
-func TestCacheCapReset(t *testing.T) {
+// TestCacheCapBound checks the bound: however many distinct blocks
+// flow through, the entry count never exceeds the configured cap (the
+// CLOCK hand evicts one resident entry per over-cap insert).
+func TestCacheCapBound(t *testing.T) {
 	const cap = 64 // 4 entries per shard
 	c := newSchedCache(cap)
 	for i := 0; i < 10*cap; i++ {
@@ -105,7 +105,116 @@ func TestCacheCapReset(t *testing.T) {
 		}
 	}
 	if c.entries() == 0 {
-		t.Fatal("cache empty after inserts — reset logic is clearing eagerly")
+		t.Fatal("cache empty after inserts — eviction is clearing eagerly")
+	}
+}
+
+// TestCacheClockRetainsHotKeys is the churn test for CLOCK eviction: a
+// small hot working set that is looked up between waves of cold
+// inserts must survive cap pressure — the guarantee the old
+// clear-on-cap reset could not give.
+func TestCacheClockRetainsHotKeys(t *testing.T) {
+	const cap = 64
+	c := newSchedCache(cap)
+	mkKey := func(i int) ([]byte, uint64) {
+		key := appendBlockKey(nil, testgen.Block(int64(i), 3))
+		key = append(key, byte(i), byte(i>>8), byte(i>>16))
+		return key, fnv1a64(key)
+	}
+	// A hot set well under one shard's share of the cap.
+	type hot struct {
+		key []byte
+		h   uint64
+	}
+	var hots []hot
+	for i := 0; i < 8; i++ {
+		key, h := mkKey(1 << 20 * (i + 1))
+		c.insert(h, &cacheEntry{key: key})
+		hots = append(hots, hot{key, h})
+	}
+	// Churn: many times the total cap in cold inserts, with the hot
+	// set looked up between inserts — the repetitive-corpus pattern.
+	// Every lookup re-arms the reference bits, so the CLOCK hand
+	// spares the hot entries; the old clear-on-cap reset wiped them
+	// the moment any of their shards filled.
+	for i := 0; i < 10*cap; i++ {
+		for _, hk := range hots {
+			if c.lookup(hk.h, hk.key) == nil {
+				t.Fatalf("cold insert %d: hot key evicted under churn", i)
+			}
+		}
+		key, h := mkKey(10000 + i)
+		c.insert(h, &cacheEntry{key: key})
+	}
+	for _, hk := range hots {
+		if c.lookup(hk.h, hk.key) == nil {
+			t.Fatal("hot key evicted after churn")
+		}
+	}
+	if n := c.entries(); n > cap {
+		t.Fatalf("cache holds %d entries, cap %d", n, cap)
+	}
+}
+
+// TestCacheClockEvictionAfterRemove checks the ring tolerates stale
+// slots: removing entries then inserting past the cap must neither
+// exceed the bound nor lose the ability to evict.
+func TestCacheClockEvictionAfterRemove(t *testing.T) {
+	const cap = 32
+	c := newSchedCache(cap)
+	mkKey := func(i int) ([]byte, uint64) {
+		key := appendBlockKey(nil, testgen.Block(int64(i), 3))
+		key = append(key, byte(i), byte(i>>8), byte(i>>16))
+		return key, fnv1a64(key)
+	}
+	var keys [][]byte
+	var hs []uint64
+	for i := 0; i < cap; i++ {
+		key, h := mkKey(i)
+		c.insert(h, &cacheEntry{key: key})
+		keys, hs = append(keys, key), append(hs, h)
+	}
+	for i := 0; i < cap/2; i++ { // poison-removal pattern
+		c.remove(hs[i], keys[i])
+	}
+	for i := 0; i < 4*cap; i++ {
+		key, h := mkKey(1000 + i)
+		c.insert(h, &cacheEntry{key: key})
+		if n := c.entries(); n > cap {
+			t.Fatalf("after removals+%d inserts cache holds %d entries, cap %d", i+1, n, cap)
+		}
+	}
+}
+
+// TestCacheShardSelection is the satellite guard for the shard
+// selector: the shift must be derived from cacheShardBits (so the
+// stripe count and selector cannot drift), every shard must be
+// reachable, and out-of-range indices impossible.
+func TestCacheShardSelection(t *testing.T) {
+	if 1<<cacheShardBits != cacheShards {
+		t.Fatalf("cacheShards = %d is not 1<<cacheShardBits (%d)", cacheShards, 1<<cacheShardBits)
+	}
+	c := newSchedCache(0)
+	seen := make(map[int]bool)
+	for i := 0; i < 1<<12; i++ {
+		h := uint64(i) * 0x9e3779b97f4a7c15 // spread bits across the word
+		s := c.shard(h)
+		idx := -1
+		for j := range c.shards {
+			if s == &c.shards[j] {
+				idx = j
+			}
+		}
+		if idx < 0 {
+			t.Fatal("shard() returned a pointer outside the shard array")
+		}
+		if want := int(h >> (64 - cacheShardBits)); idx != want {
+			t.Fatalf("hash %#x routed to shard %d, want high-bit stripe %d", h, idx, want)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != cacheShards {
+		t.Fatalf("only %d of %d shards reachable over 4096 hashes", len(seen), cacheShards)
 	}
 }
 

@@ -42,6 +42,10 @@ func (e *ConfigError) Unwrap() error { return ErrConfig }
 //     negative ChunkSize and CacheCap are rejected (a negative
 //     Crossover is a documented "never route to n²" setting and stays
 //     legal); Crossover above dag.N2MaskCap is clamped to it.
+//   - CachePath: implies Cache; rejected combined with
+//     CollectDAGStats (the disk tier stores no DAG statistics, so a
+//     disk-served block could not fill its DAGStats slot).
+//   - CacheReadOnly: requires CachePath.
 //   - BlockTimeout: negative is rejected; 0 disables deadlines.
 //   - StreamDepth: negative is rejected; 0 means the 256-block default.
 //   - FaultPlan: rates must lie in [0, 1] and SlowDelay must be
@@ -71,6 +75,15 @@ func (cfg *Config) validate() error {
 	}
 	if cfg.Crossover > dag.N2MaskCap {
 		cfg.Crossover = dag.N2MaskCap
+	}
+	if cfg.CacheReadOnly && cfg.CachePath == "" {
+		return &ConfigError{Field: "CacheReadOnly", Value: true, Reason: "requires CachePath (there is no file to open read-only)"}
+	}
+	if cfg.CachePath != "" {
+		if cfg.CollectDAGStats {
+			return &ConfigError{Field: "CachePath", Value: cfg.CachePath, Reason: "incompatible with CollectDAGStats (the persistent tier stores no DAG statistics)"}
+		}
+		cfg.Cache = true
 	}
 	if cfg.BlockTimeout < 0 {
 		return &ConfigError{Field: "BlockTimeout", Value: cfg.BlockTimeout, Reason: "negative soft deadline (0 disables deadlines)"}

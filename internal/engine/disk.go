@@ -1,0 +1,256 @@
+// The persistent (L2) tier of the two-tier schedule cache. The
+// in-process striped cache (cache.go) evaporates on every restart;
+// Config.CachePath backs it with internal/diskcache's memory-mapped,
+// crash-safe, content-keyed file, shared across processes and
+// restarts. The tiering protocol:
+//
+//   - L1 miss → L2 probe. A hit decodes straight from the mapping into
+//     the worker's recycled scratch (zero allocations in steady state),
+//     passes the structural half of the output gate, is promoted into
+//     L1 (so the next occurrence is an L1 hit), and serves the block.
+//   - L2 miss → the block runs the normal pipeline; a healthy primary
+//     result is inserted into L1 and handed to the write-behind
+//     flusher, a single goroutine that drains the pending list in
+//     batches, each under one flock acquisition — workers never block
+//     on disk (enqueueing is a slice append under a briefly-held
+//     mutex), and nothing is dropped: whatever the flusher has not
+//     caught up with, Close flushes before releasing the file.
+//   - A served schedule that fails the gate is removed from BOTH tiers
+//     before the block recomputes, so a poisoned entry cannot be
+//     served twice by either cache — in this process or any other.
+//
+// Content-keyed fingerprints make persistence safe by construction:
+// the disk tier stores the same canonical block encodings the L1 keys
+// on, every lookup re-validates key and checksum, and the always-on
+// legality gate re-checks every served order. Read-only mode
+// (Config.CacheReadOnly) lets any number of processes share one
+// populated file with no write traffic at all.
+
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"daginsched/internal/block"
+	"daginsched/internal/buf"
+	"daginsched/internal/diskcache"
+	"daginsched/internal/fault"
+	"daginsched/internal/sched"
+)
+
+// diskTier owns the engine's handle on the persistent cache plus the
+// write-behind machinery: a double-buffered pending list the workers
+// append to under a briefly-held mutex, and one flusher goroutine that
+// swaps the buffers and writes each swap's batch under a single flock
+// acquisition. The list is unbounded on purpose — its entries alias
+// the L1 cacheEntry copies, so the marginal memory is slice headers,
+// and losing none of them is what lets a single cold run populate the
+// file completely (the warm-start gate demands every schedule be
+// served from disk, not "most, minus whatever a full queue dropped").
+type diskTier struct {
+	c  *diskcache.Cache
+	ro bool
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	pending []diskcache.Record //sched:guarded-by mu
+	closed  bool               //sched:guarded-by mu
+	kick    chan struct{}      // wakes the flusher; buffered, never blocks
+}
+
+// newDiskTier opens the cache file and, for writable handles, starts
+// the flusher.
+func newDiskTier(path string, ro bool) (*diskTier, error) {
+	c, err := diskcache.Open(path, diskcache.Options{ReadOnly: ro})
+	if err != nil {
+		return nil, err
+	}
+	t := &diskTier{c: c, ro: ro}
+	if !ro {
+		t.kick = make(chan struct{}, 1)
+		t.wg.Add(1)
+		go t.flusher()
+	}
+	return t, nil
+}
+
+// flusher is the write-behind goroutine: each wakeup swaps the pending
+// list for its recycled spare and appends the whole batch under one
+// flock acquisition. It exits when close is flagged and the list is
+// drained, so nothing enqueued before Close is ever lost.
+func (t *diskTier) flusher() {
+	defer t.wg.Done()
+	var spare []diskcache.Record
+	for {
+		t.mu.Lock()
+		batch := t.pending
+		t.pending = spare[:0]
+		closed := t.closed
+		t.mu.Unlock()
+		if len(batch) > 0 {
+			t.c.AppendBatch(batch) // an ErrFull here only costs future recomputes
+		}
+		spare = batch
+		if len(batch) > 0 {
+			// More may have accumulated while we held the flock; drain
+			// before sleeping.
+			continue
+		}
+		if closed {
+			return
+		}
+		<-t.kick
+	}
+}
+
+// enqueue hands a freshly memoized entry to the flusher. The worker
+// never touches the disk or the flock: it appends to the pending list
+// under the mutex and pokes the (buffered) wake channel.
+func (t *diskTier) enqueue(h uint64, ent *cacheEntry) {
+	if t.kick == nil {
+		return
+	}
+	// The entry's slices are immutable after the L1 insert, so the
+	// record may alias them; the flusher only reads.
+	rec := diskcache.Record{Fp: h, Key: ent.key, Order: ent.order, Issue: ent.issue, Cycles: ent.cycles, Arcs: ent.arcs}
+	t.mu.Lock()
+	if !t.closed {
+		t.pending = append(t.pending, rec)
+	}
+	t.mu.Unlock()
+	select {
+	case t.kick <- struct{}{}:
+	default:
+	}
+}
+
+// remove propagates a poisoned-entry removal to the disk tier
+// (read-only handles cannot, and need not within this process: the
+// L1 removal already prevents re-serving here).
+func (t *diskTier) remove(h uint64, key []byte) {
+	if !t.ro {
+		t.c.Remove(h, key)
+	}
+}
+
+// close flushes every pending write and releases the file.
+func (t *diskTier) close() error {
+	if t.kick != nil {
+		t.mu.Lock()
+		t.closed = true
+		t.mu.Unlock()
+		select {
+		case t.kick <- struct{}{}:
+		default:
+		}
+		t.wg.Wait()
+	}
+	return t.c.Close()
+}
+
+// Close releases the engine's persistent cache tier: the write-behind
+// flusher drains its queue, the mapping is unmapped and the file
+// handle closed (marking a clean shutdown for crash recovery). It
+// must not be called concurrently with Run/RunStream. An engine
+// without Config.CachePath has nothing to release and Close is a
+// no-op. The engine itself remains usable — later runs just lose the
+// disk tier.
+func (e *Engine) Close() error {
+	if e.disk == nil {
+		return nil
+	}
+	t := e.disk
+	e.disk = nil
+	return t.close()
+}
+
+// probeDisk is the L2 lookup: it runs only after an L1 miss and
+// decodes into the worker's recycled scratch. Zero allocations once
+// the scratch has grown to the corpus's largest block.
+//
+//sched:noalloc
+func (e *Engine) probeDisk(w *worker, h uint64) bool {
+	return e.disk.c.Lookup(h, w.enc, &w.l2)
+}
+
+// admitDiskHit runs the served-schedule checks shared by the batch and
+// streaming paths: the cache-bitflip injection point (modeling decayed
+// persistent entries), then the structural half of the output gate. A
+// failure removes the entry from both tiers and reports !ok, sending
+// the block down the ladder. On success the schedule is promoted into
+// L1 — copied out of the scratch, which the next block will recycle —
+// so later occurrences in this process hit the fast tier.
+func (e *Engine) admitDiskHit(w *worker, b *block.Block, h uint64) (order []int32, ok bool) {
+	order = w.l2.Order
+	if w.inj.Should(fault.CacheBitflip, h) {
+		// Poison a scratch copy, as the L1 path does; w.l2.Order is
+		// reused across blocks but the flip must not look like a real
+		// disk corruption to a later re-probe.
+		w.flip = buf.Int32(w.flip, len(w.l2.Order))
+		copy(w.flip, w.l2.Order)
+		w.inj.FlipBit(w.flip, h)
+		w.faults++
+		order = w.flip
+	}
+	if !w.structuralGate(order, w.l2.Issue, b.Len()) {
+		w.gateFails++
+		e.cache.remove(h, w.enc)
+		e.disk.remove(h, w.enc)
+		return nil, false
+	}
+	w.diskHits++
+	ent := &cacheEntry{
+		key:    append([]byte(nil), w.enc...),
+		order:  append([]int32(nil), w.l2.Order...),
+		issue:  append([]int32(nil), w.l2.Issue...),
+		cycles: w.l2.Cycles,
+		arcs:   w.l2.Arcs,
+	}
+	e.cache.insert(h, ent)
+	return order, true
+}
+
+// serveDiskHit serves block i of a batch from the decoded L2 entry in
+// w.l2. It mirrors serveHit; false means the gate rejected the entry
+// (already removed from both tiers) and the caller must recompute.
+func (e *Engine) serveDiskHit(w *worker, res *BatchResult, blocks []*block.Block, i int, h uint64, t0 time.Time) bool {
+	b := blocks[i]
+	order, ok := e.admitDiskHit(w, b, h)
+	if !ok {
+		return false
+	}
+	res.Cycles[i] = w.l2.Cycles
+	res.Arcs[i] = w.l2.Arcs
+	res.Rungs[i] = RungPrimary
+	if res.Orders != nil {
+		copy(res.Orders[i], order)
+	}
+	if e.cfg.Verify {
+		// The same independent witness a computed or L1-served
+		// schedule gets.
+		w.rt.PrepareBlock(b.Insts)
+		w.hitRes = sched.Result{Order: w.l2.Order, Issue: w.l2.Issue, Cycles: w.l2.Cycles}
+		res.errs[i] = verify(b, &w.hitRes, e.cfg.Model, w.rt)
+	}
+	res.durs[i] = int64(time.Since(t0))
+	if e.adaptive {
+		w.binAdd(b.Len(), res.durs[i], pathCached)
+	}
+	return true
+}
+
+// streamServeDiskHit is serveDiskHit's streaming twin; the caller
+// deposits the outcome.
+func (e *Engine) streamServeDiskHit(w *worker, b *block.Block, h uint64) (ok bool, cycles, arcs int32, order []int32, err error) {
+	order, ok = e.admitDiskHit(w, b, h)
+	if !ok {
+		return false, 0, 0, nil, nil
+	}
+	if e.cfg.Verify {
+		w.rt.PrepareBlock(b.Insts)
+		w.hitRes = sched.Result{Order: w.l2.Order, Issue: w.l2.Issue, Cycles: w.l2.Cycles}
+		err = verify(b, &w.hitRes, e.cfg.Model, w.rt)
+	}
+	return true, w.l2.Cycles, w.l2.Arcs, order, err
+}

@@ -22,6 +22,7 @@ import (
 	"daginsched/internal/block"
 	"daginsched/internal/buf"
 	"daginsched/internal/dag"
+	"daginsched/internal/diskcache"
 	"daginsched/internal/fault"
 	"daginsched/internal/heur"
 	"daginsched/internal/machine"
@@ -66,9 +67,22 @@ type Config struct {
 	// byte-identical with the cache on or off.
 	Cache bool
 	// CacheCap bounds the cache's total entry count (<= 0 means a
-	// 65536-entry default). A full shard is reset, not evicted LRU —
-	// the bound is a safety valve, not a tuning surface.
+	// 65536-entry default). Eviction is CLOCK (second-chance) per
+	// shard, so a hot working set survives cap pressure.
 	CacheCap int
+	// CachePath backs the schedule cache with a persistent second tier:
+	// a memory-mapped, crash-safe, content-keyed file at this path
+	// (created if missing), shared across processes and engine restarts.
+	// An L1 miss probes the file before scheduling; a healthy primary
+	// result is written behind by a flusher goroutine, so workers never
+	// block on disk. Setting it implies Cache. Call Engine.Close to
+	// flush and release the file. Incompatible with CollectDAGStats
+	// (the disk tier does not store DAG statistics).
+	CachePath string
+	// CacheReadOnly opens CachePath read-only: the engine serves warm
+	// hits from the file but never writes to it, so any number of
+	// processes can share one populated cache. Requires CachePath.
+	CacheReadOnly bool
 	// Crossover is the adaptive-dispatch size threshold: a block of at
 	// most this many instructions is attempted on the n²-direct
 	// pipeline (compare-against-all construction, no table reset, no
@@ -125,10 +139,14 @@ type Stats struct {
 	P50Micros    float64 `json:"p50_block_micros"`
 	P99Micros    float64 `json:"p99_block_micros"`
 	// CacheHits/CacheMisses count schedule-cache outcomes for the run
-	// (both zero when the cache is disabled); CacheHitRate is
-	// hits/(hits+misses).
+	// (both zero when the cache is disabled); DiskHits counts blocks
+	// served from the persistent tier (a subset of neither — an L1 hit
+	// counts as CacheHits, a disk hit as DiskHits, and CacheMisses only
+	// counts blocks that missed both tiers and ran the pipeline);
+	// CacheHitRate is (CacheHits+DiskHits)/(CacheHits+DiskHits+CacheMisses).
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
+	DiskHits     int64   `json:"disk_hits,omitempty"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// Crossover and ChunkSize echo the adaptive-dispatch configuration
 	// in effect for the run, and Bins breaks the run down by block-size
@@ -205,6 +223,11 @@ type worker struct {
 	enc          []byte
 	hits, misses int64
 	hitRes       sched.Result
+	// Disk-tier scratch: the recycled decode target of the L2 probe
+	// (its slices grow once to the corpus's largest block, then every
+	// warm hit is allocation-free) and the per-run disk-hit tally.
+	l2       diskcache.Entry
+	diskHits int64
 
 	// bins are the per-run size-bin tallies under adaptive dispatch,
 	// summed lock-free into Stats.Bins after the pool drains.
@@ -322,6 +345,9 @@ type Engine struct {
 	// Config.Cache). It persists across Run calls, so a corpus that
 	// repeats — or a second run over the same corpus — hits.
 	cache *schedCache
+	// disk is the persistent second tier behind cache (nil unless
+	// Config.CachePath); see disk.go. Cleared by Engine.Close.
+	disk *diskTier
 	// adaptive dispatch state, resolved once in New: whether per-block
 	// builder selection and size-binned distribution are active, the
 	// effective n² size threshold, and the small-block chunk size.
@@ -351,6 +377,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Cache {
 		e.cache = newSchedCache(cfg.CacheCap)
+	}
+	if cfg.CachePath != "" {
+		// A damaged or unopenable file is a runtime failure, not a
+		// ConfigError: the Config itself is fine.
+		disk, err := newDiskTier(cfg.CachePath, cfg.CacheReadOnly)
+		if err != nil {
+			return nil, fmt.Errorf("engine: opening cache file %s: %w", cfg.CachePath, err)
+		}
+		e.disk = disk
 	}
 	e.adaptive = !cfg.DisableAdaptive && cfg.Builder == "tableb" && !cfg.CollectDAGStats
 	if e.adaptive {
@@ -464,7 +499,7 @@ func (e *Engine) RunIntoCtx(ctx context.Context, res *BatchResult, blocks []*blo
 	}
 
 	for _, w := range e.workers {
-		w.hits, w.misses = 0, 0
+		w.hits, w.misses, w.diskHits = 0, 0, 0
 		w.bins = [nBins]binAcc{}
 		w.quars, w.demoted, w.gateFails, w.faults = 0, 0, 0, 0
 	}
@@ -539,13 +574,14 @@ func (e *Engine) RunIntoCtx(ctx context.Context, res *BatchResult, blocks []*blo
 	for _, w := range e.workers {
 		st.CacheHits += w.hits
 		st.CacheMisses += w.misses
+		st.DiskHits += w.diskHits
 		st.Quarantines += w.quars
 		st.Demotions += w.demoted
 		st.GateFailures += w.gateFails
 		st.FaultsInjected += w.faults
 	}
-	if total := st.CacheHits + st.CacheMisses; total > 0 {
-		st.CacheHitRate = float64(st.CacheHits) / float64(total)
+	if total := st.CacheHits + st.DiskHits + st.CacheMisses; total > 0 {
+		st.CacheHitRate = float64(st.CacheHits+st.DiskHits) / float64(total)
 	}
 	for _, rg := range res.Rungs {
 		if rg != RungPrimary {
@@ -605,8 +641,13 @@ func (e *Engine) process(w *worker, res *BatchResult, blocks []*block.Block, i i
 		if ent := e.cache.lookup(h, w.enc); ent != nil && e.serveHit(w, res, blocks, i, ent, h, t0) {
 			return
 		}
-		// A miss — or a poisoned hit the gate rejected, which serveHit
-		// already dropped from the cache; either way the pipeline runs.
+		// An L1 miss (or a poisoned hit the gate rejected and dropped)
+		// probes the persistent tier before paying for the pipeline.
+		if e.disk != nil && e.probeDisk(w, h) && e.serveDiskHit(w, res, blocks, i, h, t0) {
+			return
+		}
+		// Missed both tiers — or a served entry failed the gate, which
+		// already dropped it from both; either way the pipeline runs.
 		w.misses++
 	}
 	rung, path, r, d := e.ladder(w, b, h)
@@ -642,6 +683,9 @@ func (e *Engine) process(w *worker, res *BatchResult, blocks []*block.Block, i i
 			ent.stats = res.DAGStats[i]
 		}
 		e.cache.insert(h, ent)
+		if e.disk != nil {
+			e.disk.enqueue(h, ent)
+		}
 	}
 	if e.cfg.Verify {
 		res.errs[i] = verify(b, r, e.cfg.Model, w.rt)
@@ -673,6 +717,11 @@ func (e *Engine) serveHit(w *worker, res *BatchResult, blocks []*block.Block, i 
 	if !w.structuralGate(order, ent.issue, b.Len()) {
 		w.gateFails++
 		e.cache.remove(h, ent.key)
+		if e.disk != nil {
+			// Both tiers: the poisoned schedule must not be served to
+			// any later process either.
+			e.disk.remove(h, ent.key)
+		}
 		return false
 	}
 	w.hits++

@@ -486,8 +486,16 @@ func (e *Engine) streamBlock(w *worker, s *streamRun, wi int, it streamItem) {
 				return
 			}
 		}
-		// A miss — or a poisoned hit the gate rejected, which
-		// streamServeHit already dropped from the cache.
+		// An L1 miss (or a poisoned hit the gate rejected and dropped)
+		// probes the persistent tier, exactly as the batch path does.
+		if e.disk != nil && e.probeDisk(w, h) {
+			if ok, cycles, arcs, order, err := e.streamServeDiskHit(w, b, h); ok {
+				e.streamFinish(w, s, wi, it, t0, cycles, arcs, RungPrimary, pathCached, order, err)
+				return
+			}
+		}
+		// Missed both tiers — or a served entry failed the gate, which
+		// already dropped it from both.
 		w.misses++
 	}
 	rung, path, r, d := e.ladder(w, b, h)
@@ -506,6 +514,9 @@ func (e *Engine) streamBlock(w *worker, s *streamRun, wi int, it streamItem) {
 			arcs:   arcs,
 		}
 		e.cache.insert(h, ent)
+		if e.disk != nil {
+			e.disk.enqueue(h, ent)
+		}
 	}
 	var err error
 	if e.cfg.Verify {
@@ -550,6 +561,11 @@ func (e *Engine) streamServeHit(w *worker, b *block.Block, ent *cacheEntry, h ui
 	if !w.structuralGate(order, ent.issue, b.Len()) {
 		w.gateFails++
 		e.cache.remove(h, ent.key)
+		if e.disk != nil {
+			// Both tiers: the poisoned schedule must not be served to
+			// any later process either.
+			e.disk.remove(h, ent.key)
+		}
 		return false, 0, 0, nil, nil
 	}
 	w.hits++
@@ -624,7 +640,7 @@ func (e *Engine) RunStream(ctx context.Context, src <-chan *block.Block, sink fu
 	}
 
 	for _, w := range e.workers {
-		w.hits, w.misses = 0, 0
+		w.hits, w.misses, w.diskHits = 0, 0, 0
 		w.bins = [nBins]binAcc{}
 		w.quars, w.demoted, w.gateFails, w.faults = 0, 0, 0, 0
 	}
@@ -673,13 +689,14 @@ func (e *Engine) RunStream(ctx context.Context, src <-chan *block.Block, sink fu
 	for _, w := range e.workers {
 		st.CacheHits += w.hits
 		st.CacheMisses += w.misses
+		st.DiskHits += w.diskHits
 		st.Quarantines += w.quars
 		st.Demotions += w.demoted
 		st.GateFailures += w.gateFails
 		st.FaultsInjected += w.faults
 	}
-	if total := st.CacheHits + st.CacheMisses; total > 0 {
-		st.CacheHitRate = float64(st.CacheHits) / float64(total)
+	if total := st.CacheHits + st.DiskHits + st.CacheMisses; total > 0 {
+		st.CacheHitRate = float64(st.CacheHits+st.DiskHits) / float64(total)
 	}
 	if e.adaptive {
 		st.Crossover = e.crossover

@@ -15,6 +15,13 @@
 # gates (RunStream byte-identity to batch at several worker counts,
 # cancellation, faulted streams and the bounded-memory test, all under
 # -race, plus producer/scanner equivalence tests; see DESIGN.md §10),
+# the persistent-cache gates (the diskcache crash-recovery/corruption
+# suite and the engine's two-tier tests at eight workers under -race,
+# a two-process warm-start proof — one schedbench populates a cache
+# file, a second must serve ≥99% of the corpus from it with schedules
+# byte-identical to a cache-disabled reference — and a corrupt-file
+# smoke that overwrites the file with garbage and requires the next
+# run to recover by rebuilding it; see DESIGN.md §11),
 # the perf-regression gate (a fresh -parallel + -stream measurement
 # diffed against the committed BENCH_engine.json inside a tolerance
 # band, with a self-test first proving the gate catches injected
@@ -53,10 +60,23 @@ go test -race -run '^TestRunStream|^TestStreamHistogram' ./internal/engine
 go test -race -run '^TestStream|^TestGeneratePass|^TestCorpusDeterminismPin' ./internal/synth
 go test -race -run '^TestScanner|^TestStreamBlocks' ./internal/asm
 
+echo "== persistent cache gates (workers=8, -race)"
+go test -race ./internal/diskcache
+go test -race -run '^TestDisk' ./internal/engine
+CACHE_FILE="$(mktemp -u).schedcache"
+CACHE_JSON="$(mktemp)"
+trap 'rm -f "${CACHE_FILE:-}" "${CACHE_JSON:-}" "${FRESH_JSON:-}"' EXIT
+# Process 1 populates the file cold; process 2 must warm-start from it.
+go run ./cmd/schedbench -cachefile "$CACHE_FILE" -workers 8 -json "$CACHE_JSON" > /dev/null
+go run ./cmd/schedbench -cachefile "$CACHE_FILE" -workers 8 -warmexpect 0.99 -json "$CACHE_JSON" > /dev/null
+# Corrupt-file smoke: garbage where the cache was must not break a run.
+dd if=/dev/urandom of="$CACHE_FILE" bs=4096 count=4 conv=notrunc 2> /dev/null
+go run ./cmd/schedbench -cachefile "$CACHE_FILE" -workers 8 -json "$CACHE_JSON" > /dev/null
+rm -f "$CACHE_FILE" "$CACHE_JSON"
+
 echo "== perf-regression gate"
 go run ./cmd/schedbench -diffselftest
 FRESH_JSON="$(mktemp)"
-trap 'rm -f "$FRESH_JSON"' EXIT
 go run ./cmd/schedbench -parallel -json "$FRESH_JSON" > /dev/null
 go run ./cmd/schedbench -stream -insts 2e6 -json "$FRESH_JSON" > /dev/null
 go run ./cmd/schedbench -diff "$FRESH_JSON"
