@@ -10,12 +10,15 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis: the schedlint suite enforces the
-# //sched:noalloc, arena-lifetime, //sched:guarded-by and
-# b.ReportAllocs() invariants (see DESIGN.md §7). Non-zero exit on any
-# finding.
+# Repo-specific static analysis: the nine-pass schedlint suite
+# enforces the //sched:noalloc, arena-lifetime, //sched:guarded-by,
+# b.ReportAllocs(), //sched:lock-rank, atomic-field, //sched:signals,
+# //sched:cancellable and //sched:recover-boundary invariants (see
+# DESIGN.md §7). -strict also fails on stale //sched:lint-ignore
+# suppressions; -stats prints per-pass finding counts and wall time.
+# Non-zero exit on any finding.
 lint:
-	$(GO) run ./cmd/schedlint ./...
+	$(GO) run ./cmd/schedlint -strict -stats ./...
 
 test:
 	$(GO) test ./...

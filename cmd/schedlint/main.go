@@ -1,7 +1,8 @@
 // Schedlint is the repo's static-analysis driver: it loads every
-// package named by its arguments (default ./...) and runs the four
+// package named by its arguments (default ./...) and runs the nine
 // invariant passes of internal/analysis — noalloc, arenalife,
-// guardedby, benchallocs. Findings print as
+// guardedby, benchallocs, lockorder, atomicfield, condloop,
+// cancelpoll, panicsafe. Findings print as
 //
 //	file:line:col: [pass] message
 //
@@ -9,6 +10,11 @@
 // survives suppression, so `go run ./cmd/schedlint ./...` is a CI
 // gate. Suppress a finding with //sched:lint-ignore <pass> <reason>
 // on the flagged line or the line above it.
+//
+// -strict additionally audits the suppressions themselves: a
+// lint-ignore whose pass ran but never fired on its line is reported
+// as stale. -stats prints per-pass finding counts and wall time to
+// stderr, so the cost of the growing pass suite stays visible.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"daginsched/internal/analysis"
 )
@@ -24,6 +31,8 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON ({\"findings\": [...]})")
 	passes := flag.String("passes", "", "comma-separated pass subset (default: all)")
+	strict := flag.Bool("strict", false, "report unused suppressions (stale //sched:lint-ignore comments)")
+	stats := flag.Bool("stats", false, "print per-pass finding counts and wall time to stderr")
 	dir := flag.String("C", ".", "directory whose module is analyzed")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [flags] [packages]\n\npasses:\n")
@@ -39,6 +48,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "schedlint:", err)
 		os.Exit(2)
 	}
+	ctx.Audit = *strict
 	var sel []string
 	if *passes != "" {
 		sel = strings.Split(*passes, ",")
@@ -65,6 +75,11 @@ func main() {
 	} else {
 		for _, d := range diags {
 			fmt.Println(d)
+		}
+	}
+	if *stats {
+		for _, s := range ctx.Stats {
+			fmt.Fprintf(os.Stderr, "schedlint: %-12s %3d finding(s) %12s\n", s.Name, s.Findings, s.Duration.Round(10*time.Microsecond))
 		}
 	}
 	if len(diags) > 0 {

@@ -139,7 +139,7 @@ func TestSmokeSchedlint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("smoke tests skipped in -short mode")
 	}
-	out := runTool(t, "", "schedlint", "-json", "./...")
+	out := runTool(t, "", "schedlint", "-strict", "-json", "./...")
 	var doc struct {
 		Findings []struct {
 			File string `json:"file"`
@@ -153,6 +153,20 @@ func TestSmokeSchedlint(t *testing.T) {
 	}
 	if len(doc.Findings) != 0 {
 		t.Errorf("schedlint found violations in the repo: %+v", doc.Findings)
+	}
+
+	// An unknown pass name must exit 2 with a diagnostic that teaches
+	// the valid set, not silently run nothing.
+	schedlint := buildTool(t, "schedlint")
+	out2, code := runToolErr(t, "", schedlint, "-passes", "noalloc,bogus", "./internal/buf")
+	if code != 2 {
+		t.Errorf("unknown pass exit code %d, want 2\n%s", code, out2)
+	}
+	requireDiagnostic(t, "schedlint", out2)
+	for _, want := range []string{`unknown pass "bogus"`, "valid passes:", "lockorder", "panicsafe"} {
+		if !strings.Contains(out2, want) {
+			t.Errorf("unknown-pass diagnostic missing %q:\n%s", want, out2)
+		}
 	}
 }
 

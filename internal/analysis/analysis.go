@@ -20,6 +20,21 @@
 //   - benchallocs: every Benchmark in the hot packages must call
 //     b.ReportAllocs(), so a regression from 0 allocs/op is visible in
 //     every benchmark run, not only the ones someone thought to check.
+//   - lockorder: mutex fields annotated //sched:lock-rank <n> form a
+//     static lock order; an acquisition while holding an equal or
+//     higher rank, or any acquisition cycle, is reported.
+//   - atomicfield: a field touched via sync/atomic anywhere may never
+//     be read or written plainly outside a //sched:atomic-init
+//     constructor.
+//   - condloop: Cond.Wait must sit inside a for loop, and writes to
+//     //sched:signals fields must be followed by a Signal/Broadcast on
+//     the named condition variable.
+//   - cancelpoll: //sched:cancellable functions must poll ctx.Err(),
+//     ctx.Done() or a done channel on every loop without a statically
+//     bounded trip count.
+//   - panicsafe: inside //sched:recover-boundary call trees, no mutex
+//     may be held across a call that can panic unless the unlock is
+//     deferred.
 //
 // Diagnostics are file:line:col: [pass] message lines (or JSON with
 // -json) and any finding can be suppressed per line with
@@ -35,6 +50,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diag is one finding. File is module-relative so output is stable
@@ -69,6 +85,21 @@ type Context struct {
 	// the loader has seen, keyed by its type-checker object — the
 	// cross-package call-graph map the noalloc pass walks.
 	Funcs map[*types.Func]*FuncInfo
+	// Audit enables the unused-suppression audit: a //sched:lint-ignore
+	// whose pass ran but never fired on a covered line becomes a
+	// lint-ignore finding of its own. CI runs with this on (strict
+	// mode) so stale suppressions cannot rot silently.
+	Audit bool
+	// Stats is filled by Run: one entry per executed pass, in registry
+	// order, with its post-suppression finding count and wall time.
+	Stats []PassStat
+}
+
+// PassStat is one pass's cost and yield in a Run invocation.
+type PassStat struct {
+	Name     string
+	Findings int
+	Duration time.Duration
 }
 
 // Load loads the packages matching patterns (relative to the module
@@ -122,12 +153,27 @@ var Passes = []struct {
 	{"arenalife", runArenaLife, "arena-backed values must not outlive ResetFor (no globals, no exported returns)"},
 	{"guardedby", runGuardedBy, "//sched:guarded-by fields only touched under their mutex"},
 	{"benchallocs", runBenchAllocs, "hot-package benchmarks must call b.ReportAllocs()"},
+	{"lockorder", runLockOrder, "//sched:lock-rank mutexes must be acquired in strictly increasing rank, acyclically"},
+	{"atomicfield", runAtomicField, "fields touched via sync/atomic must never be accessed plainly outside //sched:atomic-init"},
+	{"condloop", runCondLoop, "Cond.Wait needs a for loop; //sched:signals writes need a Signal/Broadcast after them"},
+	{"cancelpoll", runCancelPoll, "//sched:cancellable loops without bounded trip counts must poll for cancellation"},
+	{"panicsafe", runPanicSafe, "//sched:recover-boundary call trees must not hold a mutex across a panicking call undeferred"},
+}
+
+// PassNames returns the registry's pass names in order.
+func PassNames() []string {
+	names := make([]string, len(Passes))
+	for i, p := range Passes {
+		names[i] = p.Name
+	}
+	return names
 }
 
 // Run executes the named passes (nil or empty = all) and returns the
 // surviving findings: suppressed diagnostics are dropped, malformed
 // suppressions are added as findings of their own, and the result is
-// deduplicated and sorted by position.
+// deduplicated and sorted by position. With ctx.Audit set, a
+// suppression that an executed pass never used is itself a finding.
 func (ctx *Context) Run(passes []string) ([]Diag, error) {
 	want := make(map[string]bool)
 	for _, p := range passes {
@@ -142,16 +188,21 @@ func (ctx *Context) Run(passes []string) ([]Diag, error) {
 				}
 			}
 			if !known {
-				return nil, fmt.Errorf("analysis: unknown pass %q", p)
+				return nil, fmt.Errorf("analysis: unknown pass %q (valid passes: %s)", p, strings.Join(PassNames(), ", "))
 			}
 		}
 	}
+	ctx.Stats = ctx.Stats[:0]
+	ran := make(map[string]bool)
 	var diags []Diag
 	for _, reg := range Passes {
 		if len(want) > 0 && !want[reg.Name] {
 			continue
 		}
+		t0 := time.Now()
 		diags = append(diags, reg.Run(ctx)...)
+		ctx.Stats = append(ctx.Stats, PassStat{Name: reg.Name, Duration: time.Since(t0)})
+		ran[reg.Name] = true
 	}
 	sup := ctx.suppressions()
 	diags = append(diags, sup.malformed...)
@@ -163,6 +214,24 @@ func (ctx *Context) Run(passes []string) ([]Diag, error) {
 		}
 		seen[d] = true
 		kept = append(kept, d)
+	}
+	if ctx.Audit {
+		// After filtering: only now is every suppression's used bit
+		// final. Audit findings are deliberately unsuppressible — a
+		// lint-ignore shielding another lint-ignore is turtles.
+		for _, d := range sup.unused(ctx, ran) {
+			if !seen[d] {
+				seen[d] = true
+				kept = append(kept, d)
+			}
+		}
+	}
+	counts := make(map[string]int)
+	for _, d := range kept {
+		counts[d.Pass]++
+	}
+	for i := range ctx.Stats {
+		ctx.Stats[i].Findings = counts[ctx.Stats[i].Name]
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]

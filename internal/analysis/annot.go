@@ -8,6 +8,27 @@
 //	    on a struct field (doc or trailing comment): the field may only
 //	    be read or written while the sibling mutex field <field> is
 //	    held on the same access path.
+//	//sched:lock-rank <n>
+//	    on a mutex field: the field participates in the module's static
+//	    lock order. While any ranked mutex is held, only mutexes of
+//	    strictly greater rank may be acquired.
+//	//sched:atomic-init
+//	    on a func declaration: the function is a constructor that may
+//	    touch atomically-accessed fields plainly, before the object is
+//	    published.
+//	//sched:signals <field>
+//	    on a struct field: every write of the field must be followed by
+//	    a Signal/Broadcast/Wait on the sibling *sync.Cond field <field>
+//	    on the same path — the field is part of a condition-variable
+//	    predicate and a silent mutation strands waiters.
+//	//sched:cancellable
+//	    on a func declaration: every loop in the function (and in its
+//	    static callees within the same package) that lacks a statically
+//	    bounded trip count must poll for cancellation.
+//	//sched:recover-boundary
+//	    on a func declaration: the function's call tree runs under (or
+//	    contains) a recover boundary; no mutex may be held across a
+//	    call that can panic unless its unlock is deferred.
 //	//sched:lint-ignore <pass> <reason>
 //	    suppresses <pass> findings on the comment's line and on the
 //	    line immediately below it. The reason is mandatory: an
@@ -17,39 +38,52 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"path/filepath"
+	"strconv"
 	"strings"
 )
 
 const (
-	dirNoalloc   = "//sched:noalloc"
-	dirGuardedBy = "//sched:guarded-by"
-	dirIgnore    = "//sched:lint-ignore"
+	dirNoalloc         = "//sched:noalloc"
+	dirGuardedBy       = "//sched:guarded-by"
+	dirLockRank        = "//sched:lock-rank"
+	dirAtomicInit      = "//sched:atomic-init"
+	dirSignals         = "//sched:signals"
+	dirCancellable     = "//sched:cancellable"
+	dirRecoverBoundary = "//sched:recover-boundary"
+	dirIgnore          = "//sched:lint-ignore"
 )
 
-// hasNoallocDirective reports whether fn's doc comment carries
-// //sched:noalloc.
-func hasNoallocDirective(fn *ast.FuncDecl) bool {
+// hasFuncDirective reports whether fn's doc comment carries the given
+// marker directive (one with no arguments).
+func hasFuncDirective(fn *ast.FuncDecl, dir string) bool {
 	if fn.Doc == nil {
 		return false
 	}
 	for _, c := range fn.Doc.List {
-		if c.Text == dirNoalloc || strings.HasPrefix(c.Text, dirNoalloc+" ") {
+		if c.Text == dir || strings.HasPrefix(c.Text, dir+" ") {
 			return true
 		}
 	}
 	return false
 }
 
-// guardedByMutex returns the mutex field name from a
-// //sched:guarded-by directive on field, or "".
-func guardedByMutex(field *ast.Field) string {
+// hasNoallocDirective reports whether fn's doc comment carries
+// //sched:noalloc.
+func hasNoallocDirective(fn *ast.FuncDecl) bool {
+	return hasFuncDirective(fn, dirNoalloc)
+}
+
+// fieldDirectiveArg returns the first argument of the given directive
+// on field (doc or trailing comment), or "".
+func fieldDirectiveArg(field *ast.Field, dir string) string {
 	for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
 		if g == nil {
 			continue
 		}
 		for _, c := range g.List {
-			if rest, ok := strings.CutPrefix(c.Text, dirGuardedBy+" "); ok {
+			if rest, ok := strings.CutPrefix(c.Text, dir+" "); ok {
 				if fields := strings.Fields(rest); len(fields) > 0 {
 					return fields[0]
 				}
@@ -59,11 +93,39 @@ func guardedByMutex(field *ast.Field) string {
 	return ""
 }
 
+// guardedByMutex returns the mutex field name from a
+// //sched:guarded-by directive on field, or "".
+func guardedByMutex(field *ast.Field) string {
+	return fieldDirectiveArg(field, dirGuardedBy)
+}
+
+// signalsCond returns the condition-variable field name from a
+// //sched:signals directive on field, or "".
+func signalsCond(field *ast.Field) string {
+	return fieldDirectiveArg(field, dirSignals)
+}
+
+// lockRank returns the rank from a //sched:lock-rank directive on
+// field. ok distinguishes "no directive" from rank 0; a directive
+// whose argument is not an integer reports ok with bad set, so the
+// lockorder pass can flag it.
+func lockRank(field *ast.Field) (rank int, ok, bad bool) {
+	arg := fieldDirectiveArg(field, dirLockRank)
+	if arg == "" {
+		return 0, false, false
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil {
+		return 0, true, true
+	}
+	return n, true, false
+}
+
 // suppressionIndex holds every //sched:lint-ignore comment of the run.
 type suppressionIndex struct {
-	// byLine maps (module-relative file, line) to the passes suppressed
-	// on that line.
-	byLine    map[supKey][]string
+	// byLine maps (module-relative file, line) to the suppressions
+	// declared on that line.
+	byLine    map[supKey][]*supEntry
 	malformed []Diag
 }
 
@@ -72,11 +134,20 @@ type supKey struct {
 	line int
 }
 
+// supEntry is one well-formed suppression. used is set by covers when
+// a diagnostic of the suppressed pass actually lands on a covered
+// line; the unused-suppression audit reports entries that stay cold.
+type supEntry struct {
+	pass string
+	pos  token.Pos
+	used bool
+}
+
 // suppressions scans every file the loader parsed (including test
 // files and dependency packages, where noalloc can report) for
 // lint-ignore comments.
 func (ctx *Context) suppressions() *suppressionIndex {
-	idx := &suppressionIndex{byLine: make(map[supKey][]string)}
+	idx := &suppressionIndex{byLine: make(map[supKey][]*supEntry)}
 	for _, pkg := range ctx.Loader.pkgs {
 		if pkg == nil {
 			continue
@@ -126,18 +197,41 @@ func (idx *suppressionIndex) add(ctx *Context, c *ast.Comment) {
 	if rel, err := filepath.Rel(ctx.Loader.ModuleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
 		file = filepath.ToSlash(rel)
 	}
-	idx.byLine[supKey{file, pos.Line}] = append(idx.byLine[supKey{file, pos.Line}], pass)
+	key := supKey{file, pos.Line}
+	idx.byLine[key] = append(idx.byLine[key], &supEntry{pass: pass, pos: c.Pos()})
 }
 
 // covers reports whether d is suppressed: a matching lint-ignore on
-// d's own line or on the line directly above it.
+// d's own line or on the line directly above it. A match marks the
+// suppression used for the audit.
 func (idx *suppressionIndex) covers(d Diag) bool {
+	hit := false
 	for _, line := range []int{d.Line, d.Line - 1} {
-		for _, pass := range idx.byLine[supKey{d.File, line}] {
-			if pass == d.Pass {
-				return true
+		for _, e := range idx.byLine[supKey{d.File, line}] {
+			if e.pass == d.Pass {
+				e.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// unused returns one finding per suppression whose pass ran in this
+// invocation but never fired on a covered line — a stale suppression
+// that would otherwise rot silently. Suppressions for passes that did
+// not run are left alone: a -passes subset must not condemn the
+// other passes' suppressions.
+func (idx *suppressionIndex) unused(ctx *Context, ran map[string]bool) []Diag {
+	var diags []Diag
+	for _, entries := range idx.byLine {
+		for _, e := range entries {
+			if e.used || !ran[e.pass] {
+				continue
+			}
+			diags = append(diags, ctx.diag(e.pos, "lint-ignore",
+				"unused suppression: no %s finding fires here (delete it, or explain what changed)", e.pass))
+		}
+	}
+	return diags
 }

@@ -1,0 +1,139 @@
+// The atomicfield pass. A struct field that is ever accessed through
+// sync/atomic (atomic.LoadUint64(&x.f), atomic.AddInt64(&x.f, 1), …)
+// has opted into atomic publication: every other access must be
+// atomic too, or the happens-before edges the atomic ops establish
+// mean nothing. A plain read can observe a torn or stale value; a
+// plain write can desync a publication protocol — exactly the bug
+// class the disk cache's index slots depend on avoiding.
+//
+// The one legitimate exception is construction: before the object
+// escapes, plain initialization is both safe and idiomatic. A
+// function annotated //sched:atomic-init declares itself such a
+// constructor and is exempt wholesale.
+//
+// Scope notes: the pass keys on address-taken field arguments
+// (&x.f) to sync/atomic calls, collected across every package the
+// loader saw, and then reports plain selector accesses to those
+// fields in the requested packages. Fields of the atomic.Int64-style
+// wrapper types are a different mechanism — the type system already
+// prevents plain access to their contents — and atomics on
+// pointer-derived words (the disk cache's mmap slots) have no field
+// object to key on; both are out of scope by construction.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func runAtomicField(ctx *Context) []Diag {
+	// Phase 1: fields passed by address to sync/atomic, module-wide.
+	atomicFields := make(map[*types.Var]bool)
+	for _, pkg := range ctx.Loader.pkgs {
+		if pkg == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(pkg.Info, call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if v := addressedField(pkg.Info, arg); v != nil {
+						atomicFields[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Phase 2: plain accesses in the requested packages.
+	var diags []Diag
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || hasFuncDirective(fd, dirAtomicInit) {
+					continue
+				}
+				ctx.checkAtomicAccesses(pkg, fd, atomicFields, &diags)
+			}
+		}
+	}
+	return diags
+}
+
+// addressedField resolves an argument of the form &x.f to the struct
+// field object f, or nil.
+func addressedField(info *types.Info, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// checkAtomicAccesses reports every selector access to an
+// atomically-published field in fd that is not itself an argument of
+// a sync/atomic call.
+func (ctx *Context) checkAtomicAccesses(pkg *Package, fd *ast.FuncDecl, atomicFields map[*types.Var]bool, diags *[]Diag) {
+	info := pkg.Info
+	// Selectors appearing inside &x.f arguments of atomic calls are the
+	// sanctioned accesses; everything else is plain.
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+					sanctioned[sel] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sanctioned[sel] {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok || !atomicFields[v] {
+			return true
+		}
+		*diags = append(*diags, ctx.diag(sel.Sel.Pos(), "atomicfield",
+			"plain access to %s.%s, which is accessed via sync/atomic elsewhere: use atomic ops, or mark a constructor //sched:atomic-init",
+			exprString(sel.X), sel.Sel.Name))
+		return true
+	})
+}

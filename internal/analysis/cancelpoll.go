@@ -1,0 +1,226 @@
+// The cancelpoll pass. A function annotated //sched:cancellable
+// promises its callers that cancellation is observed promptly: every
+// loop in its call tree that lacks a statically bounded trip count
+// must poll for cancellation on each iteration. Polling is any of
+//
+//   - a ctx.Err() or ctx.Done() call on a context.Context,
+//   - a receive from a chan struct{} (the done-channel idiom,
+//     including a select case),
+//   - a call to a module function that itself polls (transitively):
+//     the engine's cancelled(done) helper is the motivating case.
+//
+// Bounded means structurally bounded: a range statement, or a
+// three-clause for with a post statement (induction loops). Bare
+// `for {}` and `for cond {}` loops are assumed unbounded — they run
+// until a predicate flips, and if nothing in their body observes
+// cancellation they can outlive the caller that asked them to stop.
+// A loop whose body waits on a sync.Cond is exempt: cancellation
+// reaches it as a Broadcast flipping the predicate, which is the
+// condvar protocol condloop enforces.
+//
+// Loops are only checked in closure members of the root's own
+// package; callees in other module packages contribute polling
+// evidence but are not themselves held to the annotation (their own
+// loops are their own contract). Loops with a convergence argument
+// instead of a poll take a //sched:lint-ignore cancelpoll with the
+// argument written down.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+func runCancelPoll(ctx *Context) []Diag {
+	var roots []*types.Func
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasFuncDirective(fd, dirCancellable) {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, obj)
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return ctx.Funcs[roots[i]].Decl.Pos() < ctx.Funcs[roots[j]].Decl.Pos()
+	})
+
+	pollers := ctx.pollingFuncs()
+
+	var diags []Diag
+	reported := make(map[token.Pos]bool)
+	for _, root := range roots {
+		rootPkg := ctx.Funcs[root].Pkg.Types
+		for _, fn := range ctx.noallocClosure(root) {
+			info := ctx.Funcs[fn]
+			if info == nil || info.Decl.Body == nil || info.Pkg.Types != rootPkg {
+				continue
+			}
+			ctx.checkCancelPoll(fn, root, info, pollers, reported, &diags)
+		}
+	}
+	return diags
+}
+
+// pollingFuncs computes, as a fixpoint over the module call graph,
+// which functions observe cancellation when called: directly (a
+// context poll or done-channel receive in their own body, outside
+// function literals — a poll inside a goroutine the callee launches
+// is not synchronous with the call) or through a static callee.
+func (ctx *Context) pollingFuncs() map[*types.Func]bool {
+	polls := make(map[*types.Func]bool)
+	callees := make(map[*types.Func][]*types.Func)
+	for fn, info := range ctx.Funcs {
+		if info.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if pollsDirectly(info.Pkg.Info, n) {
+				polls[fn] = true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := staticCallee(info.Pkg.Info, call); callee != nil && ctx.Funcs[callee] != nil {
+					callees[fn] = append(callees[fn], callee)
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			if polls[fn] {
+				continue
+			}
+			for _, c := range cs {
+				if polls[c] {
+					polls[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return polls
+}
+
+// pollsDirectly reports whether n is itself a cancellation
+// observation: ctx.Err()/ctx.Done() on a context.Context, or a
+// receive from a chan struct{}.
+func pollsDirectly(info *types.Info, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+			return false
+		}
+		return isContextType(info.Types[sel.X].Type)
+	case *ast.UnaryExpr:
+		if n.Op != token.ARROW {
+			return false
+		}
+		return isDoneChanType(info.Types[n.X].Type)
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isDoneChanType matches chan struct{} in any direction: the module's
+// done-channel convention.
+func isDoneChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// checkCancelPoll flags every structurally unbounded loop in fn whose
+// body neither polls nor waits on a condition variable. Loops inside
+// function literals are included: the worker closures RunIntoCtx and
+// RunStream spawn are exactly the loops the annotation is about.
+func (ctx *Context) checkCancelPoll(fn, root *types.Func, info *FuncInfo, pollers map[*types.Func]bool, reported map[token.Pos]bool, diags *[]Diag) {
+	ti := info.Pkg.Info
+	where := "in " + funcDisplayName(fn)
+	if fn != root {
+		where += " (reached from " + funcDisplayName(root) + ")"
+	}
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Post != nil || reported[loop.Pos()] {
+			return true
+		}
+		if loopObservesCancel(ti, loop, pollers) {
+			return true
+		}
+		reported[loop.Pos()] = true
+		*diags = append(*diags, ctx.diag(loop.Pos(), "cancelpoll",
+			"loop has no statically bounded trip count and never polls for cancellation %s", where))
+		return true
+	})
+}
+
+// loopObservesCancel reports whether the loop body (excluding nested
+// function literals, which run on their own goroutine or schedule)
+// polls for cancellation, calls a transitively polling function, or
+// blocks in sync.Cond.Wait.
+func loopObservesCancel(ti *types.Info, loop *ast.ForStmt, pollers map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if pollsDirectly(ti, n) {
+			found = true
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && isCondType(ti.Types[sel.X].Type) {
+			found = true
+			return false
+		}
+		if callee := staticCallee(ti, call); callee != nil && pollers[callee] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,256 @@
+// The condloop pass: condition-variable discipline.
+//
+// Rule 1 — every sync.Cond.Wait call must sit inside a for loop.
+// Wait releases the lock, sleeps, and reacquires; by the time it
+// returns, the predicate may already be false again (spurious wakeups
+// and broadcast storms are both permitted by the memory model), so a
+// Wait whose predicate is checked with an if instead of a for is a
+// latent lost-wakeup bug.
+//
+// Rule 2 — a struct field annotated
+//
+//	//sched:signals cond
+//	ringWaiters int
+//
+// is part of a condition variable's predicate: goroutines block in
+// cond.Wait until the field changes. Every write of such a field must
+// therefore be followed, on the same path, by a Signal, Broadcast or
+// Wait on the named sibling *sync.Cond — a silent mutation strands
+// every waiter whose predicate just became true. "Followed" is
+// syntactic: a qualifying call later in the same function body, or
+// anywhere inside a for loop that also contains the write (the
+// waiter's own ++/Wait/-- pattern).
+//
+// The check is structural, not a CFG analysis: early returns between
+// a write and its signal are not modeled, and function literals share
+// the enclosing function's scope.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// signalsField is one //sched:signals annotation: the annotated field
+// and the name of its sibling condition-variable field.
+type signalsField struct {
+	cond string
+}
+
+func runCondLoop(ctx *Context) []Diag {
+	var diags []Diag
+	annotated := make(map[*types.Var]signalsField)
+	for _, pkg := range ctx.Pkgs {
+		ctx.collectSignals(pkg, annotated, &diags)
+	}
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					ctx.checkCondLoop(pkg, fd, annotated, &diags)
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// collectSignals gathers //sched:signals annotations and validates
+// that the named sibling is a *sync.Cond.
+func (ctx *Context) collectSignals(pkg *Package, annotated map[*types.Var]signalsField, diags *[]Diag) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			siblings := make(map[string]types.Type)
+			for _, field := range st.Fields.List {
+				t := pkg.Info.Types[field.Type].Type
+				for _, name := range field.Names {
+					siblings[name.Name] = t
+				}
+			}
+			for _, field := range st.Fields.List {
+				cond := signalsCond(field)
+				if cond == "" {
+					continue
+				}
+				ct, ok := siblings[cond]
+				if !ok {
+					*diags = append(*diags, ctx.diag(field.Pos(), "condloop",
+						"//sched:signals names %s, which is not a sibling field", cond))
+					continue
+				}
+				if !isCondType(ct) {
+					*diags = append(*diags, ctx.diag(field.Pos(), "condloop",
+						"//sched:signals names %s, which is not a sync.Cond", cond))
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						annotated[v] = signalsField{cond: cond}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isCondType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Cond"
+}
+
+// condCall is one Wait/Signal/Broadcast call on a sync.Cond, with the
+// rendered path of the condition variable it targets.
+type condCall struct {
+	path string
+	name string // Wait, Signal or Broadcast
+	pos  token.Pos
+	end  token.Pos
+}
+
+// checkCondLoop enforces both rules within one function.
+func (ctx *Context) checkCondLoop(pkg *Package, fd *ast.FuncDecl, annotated map[*types.Var]signalsField, diags *[]Diag) {
+	info := pkg.Info
+	parents := parentMap(fd)
+
+	var calls []condCall
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Wait", "Signal", "Broadcast":
+			if isCondType(info.Types[sel.X].Type) {
+				calls = append(calls, condCall{path: exprString(sel.X), name: sel.Sel.Name, pos: call.Pos(), end: call.End()})
+			}
+		}
+		return true
+	})
+
+	// Rule 1: Wait inside a for loop of its own function (literal
+	// boundaries reset the search — an enclosing loop of the outer
+	// function does not re-check a closure's predicate).
+	for _, c := range calls {
+		if c.name != "Wait" {
+			continue
+		}
+		node := nodeAt(fd, c.pos)
+		inLoop := false
+		for n := node; n != nil && n != ast.Node(fd); n = parents[n] {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inLoop = true
+			case *ast.FuncLit:
+				n = nil
+			}
+			if inLoop || n == nil {
+				break
+			}
+		}
+		if !inLoop {
+			*diags = append(*diags, ctx.diag(c.pos, "condloop",
+				"%s.Wait outside a for loop: the predicate is not re-checked after wakeup", c.path))
+		}
+	}
+
+	if len(annotated) == 0 {
+		return
+	}
+
+	// Rule 2: writes to signals-annotated fields.
+	checkWrite := func(sel *ast.SelectorExpr, writePos token.Pos) {
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return
+		}
+		sf, ok := annotated[v]
+		if !ok {
+			return
+		}
+		condPath := exprString(sel.X) + "." + sf.cond
+		for _, c := range calls {
+			if c.path != condPath {
+				continue
+			}
+			if c.pos > writePos {
+				return // signaled later on this path
+			}
+		}
+		// No later call: accept a call anywhere inside a for loop that
+		// also contains the write (the waiter's ++/Wait/-- shape).
+		for n := nodeAt(fd, writePos); n != nil && n != ast.Node(fd); n = parents[n] {
+			if _, ok := n.(*ast.FuncLit); ok {
+				break
+			}
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				continue
+			}
+			for _, c := range calls {
+				if c.path == condPath && c.pos >= loop.Pos() && c.end <= loop.End() {
+					return
+				}
+			}
+		}
+		*diags = append(*diags, ctx.diag(writePos, "condloop",
+			"%s.%s written with no %s.Signal/Broadcast after it on this path: waiters on the predicate are stranded",
+			exprString(sel.X), sel.Sel.Name, condPath))
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					checkWrite(sel, lhs.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				checkWrite(sel, n.X.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// nodeAt finds the innermost node in root whose range starts at pos —
+// the anchor for parent-chain climbs.
+func nodeAt(root ast.Node, pos token.Pos) ast.Node {
+	var found ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() <= pos && pos < n.End() {
+			found = n
+			return true
+		}
+		return false
+	})
+	return found
+}

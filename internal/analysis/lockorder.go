@@ -1,0 +1,491 @@
+// The lockorder pass. Mutex fields annotated
+//
+//	mu sync.Mutex //sched:lock-rank 20
+//
+// form the module's static lock order: while any ranked mutex is
+// held, only mutexes of strictly greater rank may be acquired. The
+// pass builds the static lock-acquisition graph — direct Lock calls
+// plus, transitively, every ranked mutex a static callee can acquire —
+// and reports (a) any acquisition edge that violates rank order
+// (equal ranks may never nest: that is the striped-shard rule) and
+// (b) any edge that closes a cycle in the graph, which is a deadlock
+// regardless of what the ranks claim.
+//
+// The walk is structural, like guardedby: Lock marks its rendered
+// receiver path held for the rest of the statement list, Unlock
+// clears it, branch bodies inherit but contribute nothing back, and
+// function literals are analyzed with an empty held set (they run at
+// an unknown time). Locks taken inside function literals of a callee
+// are likewise not attributed to its callers — a goroutine's
+// acquisitions are not synchronous with the call that launches it.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// rankedMutex is one //sched:lock-rank annotation.
+type rankedMutex struct {
+	rank int
+	name string // pkg.Type.field, for diagnostics
+	pos  token.Pos
+}
+
+// heldLock is one mutex the structural walk currently believes held.
+type heldLock struct {
+	v        *types.Var // mutex field object; nil for non-field paths
+	path     string     // rendered acquisition path (exprString)
+	pos      token.Pos  // acquisition site
+	reader   bool       // RLock, not Lock
+	deferred bool       // a deferred unlock is pending (panicsafe cares)
+}
+
+// lockEdge is one acquisition-order edge: to was (or could be, via a
+// call) acquired while from was held.
+type lockEdge struct {
+	from, to *types.Var
+	pos      token.Pos // site of the inner acquisition or the call
+	via      string    // callee display name for indirect edges, "" for direct
+}
+
+func runLockOrder(ctx *Context) []Diag {
+	var diags []Diag
+	ranked := make(map[*types.Var]*rankedMutex)
+	for _, pkg := range ctx.Loader.pkgs {
+		if pkg == nil {
+			continue
+		}
+		requested := false
+		for _, p := range ctx.Pkgs {
+			if p == pkg {
+				requested = true
+			}
+		}
+		ctx.collectRanked(pkg, requested, ranked, &diags)
+	}
+	if len(ranked) == 0 {
+		return diags
+	}
+
+	acquires := ctx.mayAcquire(ranked)
+
+	var edges []lockEdge
+	seenEdge := make(map[[2]*types.Var]bool)
+	addEdge := func(from *heldLock, to *types.Var, pos token.Pos, via string) {
+		f, t := ranked[from.v], ranked[to]
+		if t.rank <= f.rank {
+			if via != "" {
+				diags = append(diags, ctx.diag(pos, "lockorder",
+					"call to %s acquires %s (rank %d) while %s (rank %d) is held: lock ranks must strictly increase",
+					via, t.name, t.rank, f.name, f.rank))
+			} else {
+				diags = append(diags, ctx.diag(pos, "lockorder",
+					"acquires %s (rank %d) while %s is held (rank %d, locked as %s): lock ranks must strictly increase",
+					t.name, t.rank, f.name, f.rank, from.path))
+			}
+		}
+		if !seenEdge[[2]*types.Var{from.v, to}] {
+			seenEdge[[2]*types.Var{from.v, to}] = true
+			edges = append(edges, lockEdge{from: from.v, to: to, pos: pos, via: via})
+		}
+	}
+
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				lockWalk(pkg.Info, fd.Body, lockWalkHooks{
+					acquire: func(lk *heldLock, held []*heldLock) {
+						if lk.v == nil || ranked[lk.v] == nil {
+							return
+						}
+						for _, h := range held {
+							if h.v != nil && ranked[h.v] != nil {
+								addEdge(h, lk.v, lk.pos, "")
+							}
+						}
+					},
+					expr: func(n ast.Node, held []*heldLock) {
+						anyRanked := false
+						for _, h := range held {
+							if h.v != nil && ranked[h.v] != nil {
+								anyRanked = true
+							}
+						}
+						if !anyRanked {
+							return
+						}
+						scanCalls(pkg.Info, n, func(call *ast.CallExpr, callee *types.Func) {
+							for _, v := range acquires[callee] {
+								for _, h := range held {
+									if h.v != nil && ranked[h.v] != nil {
+										addEdge(h, v, call.Pos(), funcDisplayName(callee))
+									}
+								}
+							}
+						})
+					},
+				})
+			}
+		}
+	}
+
+	// Cycle check over the whole acquisition graph: an edge whose head
+	// reaches back to its tail closes a cycle — a deadlock even when
+	// every individual edge ascends in rank (which it cannot, but the
+	// graph check does not lean on that).
+	adj := make(map[*types.Var][]*types.Var)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, e := range edges {
+		if reachesLock(adj, e.to, e.from, make(map[*types.Var]bool)) {
+			diags = append(diags, ctx.diag(e.pos, "lockorder",
+				"acquiring %s while %s is held closes a lock-order cycle",
+				ranked[e.to].name, ranked[e.from].name))
+		}
+	}
+	return diags
+}
+
+// collectRanked gathers //sched:lock-rank annotations from pkg. Bad
+// annotations are reported only for requested packages, so a narrow
+// -passes run does not report into dependencies it merely loaded.
+func (ctx *Context) collectRanked(pkg *Package, requested bool, ranked map[*types.Var]*rankedMutex, diags *[]Diag) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					rank, ok, bad := lockRank(field)
+					if !ok {
+						continue
+					}
+					if bad {
+						if requested {
+							*diags = append(*diags, ctx.diag(field.Pos(), "lockorder",
+								"//sched:lock-rank needs an integer rank"))
+						}
+						continue
+					}
+					if !isMutexType(pkg.Info.Types[field.Type].Type) {
+						if requested {
+							*diags = append(*diags, ctx.diag(field.Pos(), "lockorder",
+								"//sched:lock-rank on a field that is not a sync.Mutex or sync.RWMutex"))
+						}
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							ranked[v] = &rankedMutex{
+								rank: rank,
+								name: pkg.Types.Name() + "." + ts.Name.Name + "." + name.Name,
+								pos:  name.Pos(),
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// mayAcquire computes, for every module function, the set of ranked
+// mutexes it can acquire — directly or through static callees — as a
+// fixpoint over the call graph. Function literals are excluded on
+// both ends (their execution is not synchronous with the caller).
+func (ctx *Context) mayAcquire(ranked map[*types.Var]*rankedMutex) map[*types.Func][]*types.Var {
+	direct := make(map[*types.Func]map[*types.Var]bool)
+	callees := make(map[*types.Func][]*types.Func)
+	for fn, info := range ctx.Funcs {
+		if info.Decl.Body == nil {
+			continue
+		}
+		set := make(map[*types.Var]bool)
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recv, op, ok := lockOpRecv(call); ok && (op == "Lock" || op == "RLock") {
+				if v := lockFieldVar(info.Pkg.Info, recv); v != nil && ranked[v] != nil {
+					set[v] = true
+				}
+			}
+			if callee := staticCallee(info.Pkg.Info, call); callee != nil && ctx.Funcs[callee] != nil {
+				callees[fn] = append(callees[fn], callee)
+			}
+			return true
+		})
+		direct[fn] = set
+	}
+	// Propagate until no set grows. Module call graphs are shallow;
+	// this terminates quickly.
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			for _, c := range cs {
+				for v := range direct[c] {
+					if !direct[fn][v] {
+						direct[fn][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make(map[*types.Func][]*types.Var, len(direct))
+	for fn, set := range direct {
+		if len(set) == 0 {
+			continue
+		}
+		vs := make([]*types.Var, 0, len(set))
+		for v := range set {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return ranked[vs[i]].pos < ranked[vs[j]].pos })
+		out[fn] = vs
+	}
+	return out
+}
+
+// reachesLock reports whether to is reachable from from in the
+// acquisition graph.
+func reachesLock(adj map[*types.Var][]*types.Var, from, to *types.Var, seen map[*types.Var]bool) bool {
+	if from == to {
+		return true
+	}
+	if seen[from] {
+		return false
+	}
+	seen[from] = true
+	for _, next := range adj[from] {
+		if reachesLock(adj, next, to, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// lockOpRecv recognizes <path>.Lock/Unlock/RLock/RUnlock() and returns
+// the receiver expression (the mutex path) and the operation.
+func lockOpRecv(e ast.Expr) (recv ast.Expr, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return nil, "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return sel.X, sel.Sel.Name, true
+	}
+	return nil, "", false
+}
+
+// lockFieldVar resolves a mutex path expression (the x.mu in
+// x.mu.Lock()) to the struct field object it denotes, or nil for
+// locals and non-field paths. Only mutex-typed objects resolve, so a
+// coincidental Lock method on some other type cannot alias a rank.
+func lockFieldVar(info *types.Info, x ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !isMutexType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// lockWalkHooks are the callbacks of lockWalk. acquire fires when a
+// Lock/RLock statement executes, with the locks already held at that
+// point; expr fires for every scanned expression or leaf statement,
+// with the current held set. Either may be nil.
+type lockWalkHooks struct {
+	acquire func(lk *heldLock, held []*heldLock)
+	expr    func(n ast.Node, held []*heldLock)
+}
+
+// lockWalk performs the shared structural held-lock walk over a
+// function body: the same conservative rules as guardedby (branch
+// bodies inherit state but contribute nothing back; deferred unlocks
+// keep the lock held but mark it panic-safe; function literals are
+// walked with an empty held set).
+func lockWalk(info *types.Info, body *ast.BlockStmt, hooks lockWalkHooks) {
+	var funcLits []*ast.FuncLit
+
+	heldList := func(held map[string]*heldLock) []*heldLock {
+		out := make([]*heldLock, 0, len(held))
+		for _, h := range held {
+			out = append(out, h)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+		return out
+	}
+
+	emit := func(n ast.Node, held map[string]*heldLock) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.FuncLit); ok {
+				funcLits = append(funcLits, lit)
+				return false
+			}
+			return true
+		})
+		if hooks.expr != nil {
+			hooks.expr(n, heldList(held))
+		}
+	}
+
+	copyHeld := func(held map[string]*heldLock) map[string]*heldLock {
+		c := make(map[string]*heldLock, len(held))
+		for k, v := range held {
+			cp := *v
+			c[k] = &cp
+		}
+		return c
+	}
+
+	var walkStmts func(stmts []ast.Stmt, held map[string]*heldLock)
+	var walkStmt func(s ast.Stmt, held map[string]*heldLock)
+	walkStmt = func(s ast.Stmt, held map[string]*heldLock) {
+		switch s := s.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			walkStmts(s.List, held)
+		case *ast.ExprStmt:
+			if recv, op, ok := lockOpRecv(s.X); ok {
+				key := exprString(recv)
+				switch op {
+				case "Lock", "RLock":
+					lk := &heldLock{
+						v:      lockFieldVar(info, recv),
+						path:   key,
+						pos:    s.X.Pos(),
+						reader: op == "RLock",
+					}
+					if hooks.acquire != nil {
+						hooks.acquire(lk, heldList(held))
+					}
+					held[key] = lk
+				default:
+					delete(held, key)
+				}
+				return
+			}
+			emit(s.X, held)
+		case *ast.DeferStmt:
+			if recv, op, ok := lockOpRecv(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				if lk := held[exprString(recv)]; lk != nil {
+					lk.deferred = true
+				}
+				return
+			}
+			emit(s.Call, held)
+		case *ast.IfStmt:
+			walkStmt(s.Init, held)
+			emit(s.Cond, held)
+			walkStmt(s.Body, copyHeld(held))
+			walkStmt(s.Else, copyHeld(held))
+		case *ast.ForStmt:
+			walkStmt(s.Init, held)
+			emit(s.Cond, held)
+			inner := copyHeld(held)
+			walkStmt(s.Body, inner)
+			if s.Post != nil {
+				walkStmt(s.Post, inner)
+			}
+		case *ast.RangeStmt:
+			emit(s.X, held)
+			walkStmt(s.Body, copyHeld(held))
+		case *ast.SwitchStmt:
+			walkStmt(s.Init, held)
+			emit(s.Tag, held)
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CaseClause); ok {
+					inner := copyHeld(held)
+					for _, e := range c.List {
+						emit(e, inner)
+					}
+					walkStmts(c.Body, inner)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			walkStmt(s.Init, held)
+			walkStmt(s.Assign, held)
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CaseClause); ok {
+					walkStmts(c.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CommClause); ok {
+					inner := copyHeld(held)
+					walkStmt(c.Comm, inner)
+					walkStmts(c.Body, inner)
+				}
+			}
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt, held)
+		default:
+			emit(s, held)
+		}
+	}
+	walkStmts = func(stmts []ast.Stmt, held map[string]*heldLock) {
+		for _, s := range stmts {
+			walkStmt(s, held)
+		}
+	}
+
+	walkStmts(body.List, make(map[string]*heldLock))
+	for i := 0; i < len(funcLits); i++ {
+		walkStmts(funcLits[i].Body.List, make(map[string]*heldLock))
+	}
+}
+
+// scanCalls invokes cb for every call in n with a static module
+// callee, skipping nested function literals.
+func scanCalls(info *types.Info, n ast.Node, cb func(*ast.CallExpr, *types.Func)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if callee := staticCallee(info, call); callee != nil {
+				cb(call, callee)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,136 @@
+// The panicsafe pass. A function annotated //sched:recover-boundary
+// anchors one of the engine's fault-isolation domains: somewhere in
+// its call tree a recover() turns a panic into an error and the
+// runtime keeps going (quarantine, the degradation ladder). That only
+// works if a panic cannot strand a locked mutex — a recovered panic
+// that leaks a held lock deadlocks the next request instead of
+// degrading it, which is strictly worse than crashing.
+//
+// The rule: inside a recover boundary's static call tree, while any
+// mutex is held whose unlock has not been deferred, no call may occur
+// that can panic. "Can panic" is conservative: every call counts
+// except allocation/builtin calls other than panic itself, type
+// conversions, the mutex operations, and sync.Cond methods (whose
+// panics — unlocked Wait — are programming errors the condloop and
+// guardedby passes own). The fix is almost always mechanical: defer
+// the unlock, or move the call out of the critical section.
+//
+// The held-lock state comes from the same structural walk lockorder
+// uses (lockWalk): defer mu.Unlock() marks the lock panic-safe while
+// keeping it held, branch bodies inherit state, and function literals
+// are walked with an empty held set.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+func runPanicSafe(ctx *Context) []Diag {
+	var roots []*types.Func
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasFuncDirective(fd, dirRecoverBoundary) {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, obj)
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return ctx.Funcs[roots[i]].Decl.Pos() < ctx.Funcs[roots[j]].Decl.Pos()
+	})
+
+	var diags []Diag
+	reported := make(map[token.Pos]bool)
+	for _, root := range roots {
+		for _, fn := range ctx.noallocClosure(root) {
+			info := ctx.Funcs[fn]
+			if info == nil || info.Decl.Body == nil {
+				continue
+			}
+			ctx.checkPanicSafe(fn, root, info, reported, &diags)
+		}
+	}
+	return diags
+}
+
+func (ctx *Context) checkPanicSafe(fn, root *types.Func, info *FuncInfo, reported map[token.Pos]bool, diags *[]Diag) {
+	ti := info.Pkg.Info
+	where := "in " + funcDisplayName(fn)
+	if fn != root {
+		where += " (reached from " + funcDisplayName(root) + ")"
+	}
+	lockWalk(ti, info.Decl.Body, lockWalkHooks{
+		expr: func(n ast.Node, held []*heldLock) {
+			var bare *heldLock
+			for _, h := range held {
+				if !h.deferred {
+					bare = h
+					break
+				}
+			}
+			if bare == nil {
+				return
+			}
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, panicky := panickyCall(ti, call)
+				if !panicky || reported[call.Pos()] {
+					return true
+				}
+				reported[call.Pos()] = true
+				*diags = append(*diags, ctx.diag(call.Pos(), "panicsafe",
+					"%s is held without a deferred unlock across a call to %s, which can panic %s",
+					bare.path, name, where))
+				return true
+			})
+		},
+	})
+}
+
+// panickyCall classifies one call under a bare (non-deferred) lock.
+// It returns a display name for the callee and whether the call can
+// panic under the pass's conservative model.
+func panickyCall(ti *types.Info, call *ast.CallExpr) (string, bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := ti.Uses[id].(*types.Builtin); ok {
+			// Builtins do not unwind through the caller's frame — except
+			// panic, which is the whole point of the pass.
+			return b.Name(), b.Name() == "panic"
+		}
+	}
+	if tv, ok := ti.Types[call.Fun]; ok && tv.IsType() {
+		return "", false // conversion, not a call
+	}
+	if _, op, ok := lockOpRecv(call); ok {
+		return op, false // the mutex ops themselves
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Wait", "Signal", "Broadcast":
+			if isCondType(ti.Types[sel.X].Type) {
+				return sel.Sel.Name, false
+			}
+		}
+	}
+	if callee := staticCallee(ti, call); callee != nil {
+		return funcDisplayName(callee), true
+	}
+	return exprString(call.Fun), true
+}

@@ -1,0 +1,57 @@
+// Golden cases for the atomicfield pass.
+package atomicfield
+
+import "sync/atomic"
+
+// counter mixes an atomically-published field (n) with a plain one
+// (hits) to show the pass keys on actual sync/atomic usage, not on
+// names or types.
+type counter struct {
+	n    int64
+	hits int64
+}
+
+// NewCounter is the sanctioned constructor: the object has not been
+// published yet, so plain initialization is safe.
+//
+//sched:atomic-init
+func NewCounter(start int64) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}
+
+// Inc and Read are the atomic protocol.
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) Read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// RacyRead tears: a plain load of an atomically-written word.
+func (c *counter) RacyRead() int64 {
+	return c.n // want [atomicfield] plain access to c.n, which is accessed via sync/atomic elsewhere
+}
+
+// RacyWrite desyncs the publication protocol.
+func (c *counter) RacyWrite() {
+	c.n = 0 // want [atomicfield] plain access to c.n
+}
+
+// RacyBump is a plain read-modify-write: two races in one token.
+func (c *counter) RacyBump() {
+	c.n++ // want [atomicfield] plain access to c.n
+}
+
+// Bump touches only the never-atomic field: no finding.
+func (c *counter) Bump() {
+	c.hits++
+}
+
+// Drain documents a single-goroutine phase instead of converting.
+func (c *counter) Drain() int64 {
+	//sched:lint-ignore atomicfield the run is over and every worker has been joined
+	return c.n
+}

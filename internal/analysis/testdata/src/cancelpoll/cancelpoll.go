@@ -1,0 +1,153 @@
+// Golden cases for the cancelpoll pass.
+package cancelpoll
+
+import (
+	"context"
+	"sync"
+)
+
+// Pump is cancellable and its loop selects on ctx.Done: clean.
+//
+//sched:cancellable
+func Pump(ctx context.Context, work chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case n := <-work:
+			total += n
+		}
+	}
+}
+
+// Spin is cancellable but its loop only ever blocks on work: once the
+// caller gives up, the goroutine runs forever.
+//
+//sched:cancellable
+func Spin(ctx context.Context, work chan int) int {
+	total := 0
+	for { // want [cancelpoll] loop has no statically bounded trip count and never polls for cancellation in cancelpoll.Spin
+		n, ok := <-work
+		if !ok {
+			return total
+		}
+		total += n
+	}
+}
+
+// stopped is the helper idiom: polling evidence propagates through
+// static callees.
+func stopped(ctx context.Context) bool { return ctx.Err() != nil }
+
+//sched:cancellable
+func HelperPoll(ctx context.Context, work chan int) int {
+	total := 0
+	for total >= 0 {
+		if stopped(ctx) {
+			break
+		}
+		n, ok := <-work
+		if !ok {
+			break
+		}
+		total += n
+	}
+	return total
+}
+
+// Bounded loops — range statements and three-clause induction — need
+// no poll.
+//
+//sched:cancellable
+func Bounded(ctx context.Context, xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	for i := 0; i < 10; i++ {
+		t++
+	}
+	return t
+}
+
+// drain is unannotated, but Run reaches it: the loop is checked as
+// part of Run's call tree.
+func drain(work chan int) int {
+	t := 0
+	for { // want [cancelpoll] never polls for cancellation in cancelpoll.drain (reached from cancelpoll.Run)
+		n, ok := <-work
+		if !ok {
+			return t
+		}
+		t += n
+	}
+}
+
+//sched:cancellable
+func Run(ctx context.Context, work chan int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return drain(work)
+}
+
+// Workers launched inside a cancellable function are held to the same
+// rule: their claim loops are where cancellation is lost in practice.
+//
+//sched:cancellable
+func Fanout(ctx context.Context, work chan int, done chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for { // want [cancelpoll] never polls for cancellation in cancelpoll.Fanout
+			_, ok := <-work
+			if !ok {
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case _, ok := <-work:
+				if !ok {
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// gate shows the condvar exemption: cancellation arrives as a
+// Broadcast flipping the predicate, so the wait loop needs no poll.
+type gate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	open bool
+}
+
+//sched:cancellable
+func WaitOpen(g *gate) {
+	g.mu.Lock()
+	for !g.open {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Converge documents its termination argument instead of polling.
+//
+//sched:cancellable
+func Converge(ctx context.Context, x int) int {
+	//sched:lint-ignore cancelpoll halves every iteration: terminates in log2(x) steps
+	for x > 1 {
+		x /= 2
+	}
+	return x
+}

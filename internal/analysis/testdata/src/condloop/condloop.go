@@ -1,0 +1,99 @@
+// Golden cases for the condloop pass.
+package condloop
+
+import "sync"
+
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// items is the wait predicate: every write must wake the waiters.
+	//
+	//sched:signals cond
+	items int
+	// plain has no annotation: mutations are nobody's business.
+	plain int
+
+	bad1 int //sched:signals missing // want [condloop] //sched:signals names missing, which is not a sibling field
+	bad2 int //sched:signals mu // want [condloop] //sched:signals names mu, which is not a sync.Cond
+}
+
+// Await waits correctly: the predicate is re-checked in a for loop.
+func (q *queue) Await() int {
+	q.mu.Lock()
+	for q.items == 0 {
+		q.cond.Wait()
+	}
+	n := q.items
+	q.mu.Unlock()
+	return n
+}
+
+// BadWait checks once with an if: a spurious wakeup slips through.
+func (q *queue) BadWait() {
+	q.mu.Lock()
+	if q.plain == 0 {
+		q.cond.Wait() // want [condloop] q.cond.Wait outside a for loop: the predicate is not re-checked after wakeup
+	}
+	q.mu.Unlock()
+}
+
+// LitWait sits inside a loop of the outer function, but the literal
+// is its own function: the loop does not re-check its predicate.
+func (q *queue) LitWait() {
+	f := func() {
+		q.cond.Wait() // want [condloop] q.cond.Wait outside a for loop
+	}
+	for i := 0; i < 2; i++ {
+		f()
+	}
+}
+
+// Put publishes and signals on the same path.
+func (q *queue) Put() {
+	q.mu.Lock()
+	q.items++
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// WaiterTally mutates the predicate inside the wait loop itself — the
+// ringWaiters ++/Wait/-- shape — which needs no trailing signal.
+func (q *queue) WaiterTally() {
+	q.mu.Lock()
+	for q.items < 8 {
+		q.items++
+		q.cond.Wait()
+		q.items--
+	}
+	q.mu.Unlock()
+}
+
+// Steal mutates the predicate and tells nobody: waiters whose
+// predicate just became true sleep forever.
+func (q *queue) Steal() {
+	q.mu.Lock()
+	q.items-- // want [condloop] q.items written with no q.cond.Signal/Broadcast after it on this path
+	q.mu.Unlock()
+}
+
+// Reset is Steal with an assignment instead of a decrement.
+func (q *queue) Reset() {
+	q.mu.Lock()
+	q.items = 0 // want [condloop] q.items written with no q.cond.Signal/Broadcast after it on this path
+	q.mu.Unlock()
+}
+
+// Plain writes to unannotated fields are never checked.
+func (q *queue) Bump() {
+	q.mu.Lock()
+	q.plain++
+	q.mu.Unlock()
+}
+
+// Suppressed: the mutation is acknowledged in place.
+func (q *queue) Drain() {
+	q.mu.Lock()
+	//sched:lint-ignore condloop teardown path: every waiter has already been joined
+	q.items = 0
+	q.mu.Unlock()
+}

@@ -94,6 +94,33 @@ func (s *shard) Suppressed(k int) int {
 	return s.m[k]
 }
 
+// DeferredThenRelock pins the walk's path-sensitivity around a
+// deferred unlock: the defer keeps the path locked (it releases only
+// at return), an explicit Unlock afterwards clears it immediately —
+// even though the deferred Unlock is still pending, making this
+// function a double-unlock at runtime — and a re-Lock restores it.
+// lockorder builds on exactly this state machine, so the behavior is
+// locked here before anything depends on it.
+func (s *shard) DeferredThenRelock(k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.m[k] // locked: the defer has not run yet
+	s.mu.Unlock()
+	v += s.m[k] // want [guardedby] s.m accessed without holding s.mu
+	s.mu.Lock()
+	return v + s.m[k] // locked again by the explicit re-Lock
+}
+
+// DeferredInBranch: a defer inside a branch still does not clear the
+// walk's lock state for the statements after the branch.
+func (s *shard) DeferredInBranch(k, cond int) int {
+	s.mu.Lock()
+	if cond > 0 {
+		defer s.mu.Unlock()
+	}
+	return s.m[k] // locked on every path the walk models
+}
+
 type badAnnot struct {
 	n int //sched:guarded-by missing // want [guardedby] names missing, which is not a sibling field
 }

@@ -1,0 +1,127 @@
+// Golden cases for the lockorder pass.
+package lockorder
+
+import "sync"
+
+// ascending holds the well-ordered pair: rank 10 before rank 20
+// before rank 30 is always legal.
+type ascending struct {
+	lo  sync.Mutex   //sched:lock-rank 10
+	mid sync.Mutex   //sched:lock-rank 20
+	hi  sync.RWMutex //sched:lock-rank 30
+}
+
+// Good acquires in strictly increasing rank, including a read lock.
+func (a *ascending) Good() {
+	a.lo.Lock()
+	a.mid.Lock()
+	a.hi.RLock()
+	a.hi.RUnlock()
+	a.mid.Unlock()
+	a.lo.Unlock()
+}
+
+// Sequential never nests, so order does not matter.
+func (a *ascending) Sequential() {
+	a.hi.Lock()
+	a.hi.Unlock()
+	a.lo.Lock()
+	a.lo.Unlock()
+}
+
+// inverted holds its own pair so its violation cannot complete a
+// cycle with the well-ordered functions above.
+type inverted struct {
+	first  sync.Mutex //sched:lock-rank 10
+	second sync.Mutex //sched:lock-rank 20
+}
+
+// Bad acquires rank 10 while rank 20 is held.
+func (v *inverted) Bad() {
+	v.second.Lock()
+	v.first.Lock() // want [lockorder] acquires lockorder.inverted.first (rank 10) while lockorder.inverted.second is held (rank 20, locked as v.second)
+	v.first.Unlock()
+	v.second.Unlock()
+}
+
+// Branches inherit the held set.
+func (v *inverted) BadInBranch(cond bool) {
+	v.second.Lock()
+	if cond {
+		v.first.Lock() // want [lockorder] rank 10
+		v.first.Unlock()
+	}
+	v.second.Unlock()
+}
+
+// UnlockedFirst releases before acquiring: no nesting, no finding.
+func (v *inverted) UnlockedFirst() {
+	v.second.Lock()
+	v.second.Unlock()
+	v.first.Lock()
+	v.first.Unlock()
+}
+
+// indirect exercises the transitive edge: the callee's acquisition is
+// attributed to the call site.
+type indirect struct {
+	inner sync.Mutex //sched:lock-rank 10
+	outer sync.Mutex //sched:lock-rank 20
+}
+
+func (x *indirect) touchInner() {
+	x.inner.Lock()
+	x.inner.Unlock()
+}
+
+func (x *indirect) Bad() {
+	x.outer.Lock()
+	x.touchInner() // want [lockorder] call to (*lockorder.indirect).touchInner acquires lockorder.indirect.inner (rank 10) while lockorder.indirect.outer (rank 20) is held
+	x.outer.Unlock()
+}
+
+// GoroutineNotSynchronous: acquisitions inside a launched literal are
+// not attributed to the launching function.
+func (x *indirect) GoroutineNotSynchronous() {
+	x.outer.Lock()
+	go func() {
+		x.touchInner()
+	}()
+	x.outer.Unlock()
+}
+
+// tangled holds the equal-rank pair locked in both orders: two rank
+// violations, and the edges close a cycle reported at each edge.
+type tangled struct {
+	left  sync.Mutex //sched:lock-rank 20
+	right sync.Mutex //sched:lock-rank 20
+}
+
+func (t *tangled) LeftRight() {
+	t.left.Lock()
+	t.right.Lock() // want [lockorder] acquires lockorder.tangled.right (rank 20) while lockorder.tangled.left is held (rank 20 // want [lockorder] acquiring lockorder.tangled.right while lockorder.tangled.left is held closes a lock-order cycle
+	t.right.Unlock()
+	t.left.Unlock()
+}
+
+func (t *tangled) RightLeft() {
+	t.right.Lock()
+	t.left.Lock() // want [lockorder] acquires lockorder.tangled.left (rank 20) while lockorder.tangled.right is held (rank 20 // want [lockorder] acquiring lockorder.tangled.left while lockorder.tangled.right is held closes a lock-order cycle
+	t.left.Unlock()
+	t.right.Unlock()
+}
+
+// Suppressed: the violation is acknowledged in place.
+func (v *inverted) Suppressed() {
+	v.second.Lock()
+	//sched:lint-ignore lockorder boot-time only: no other goroutine exists yet
+	v.first.Lock()
+	v.first.Unlock()
+	v.second.Unlock()
+}
+
+// badAnnot exercises the annotation validation.
+type badAnnot struct {
+	m sync.Mutex //sched:lock-rank ten // want [lockorder] //sched:lock-rank needs an integer rank
+	n int        //sched:lock-rank 5 // want [lockorder] //sched:lock-rank on a field that is not a sync.Mutex or sync.RWMutex
+}

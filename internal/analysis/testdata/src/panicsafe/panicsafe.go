@@ -1,0 +1,101 @@
+// Golden cases for the panicsafe pass.
+package panicsafe
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// touch stands in for any call: the pass assumes every call can panic.
+func touch(s *store) {}
+
+// Handle anchors the recover boundary; everything it reaches is
+// checked.
+//
+//sched:recover-boundary
+func Handle(s *store) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+		}
+	}()
+	bare(s)
+	branchBare(s, true)
+	deferred(s)
+	critical(s)
+	builtins(s)
+	explode(s)
+	audited(s)
+	return nil
+}
+
+// bare holds the lock across a call with the unlock unpaired: a panic
+// in touch leaks a locked store to whatever recovers.
+func bare(s *store) {
+	s.mu.Lock()
+	touch(s) // want [panicsafe] s.mu is held without a deferred unlock across a call to panicsafe.touch, which can panic in panicsafe.bare (reached from panicsafe.Handle)
+	s.mu.Unlock()
+}
+
+// branchBare: branch bodies inherit the held set.
+func branchBare(s *store, cond bool) {
+	s.mu.Lock()
+	if cond {
+		touch(s) // want [panicsafe] s.mu is held without a deferred unlock across a call to panicsafe.touch
+	}
+	s.mu.Unlock()
+}
+
+// deferred is the fix: the unlock runs on the panic path too.
+func deferred(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	touch(s)
+}
+
+// critical keeps calls out of the critical section entirely.
+func critical(s *store) {
+	s.mu.Lock()
+	n := s.vals["a"]
+	s.vals["a"] = n + 1
+	s.mu.Unlock()
+	touch(s)
+}
+
+// builtins under a bare lock are exempt: they do not unwind through
+// this frame.
+func builtins(s *store) {
+	s.mu.Lock()
+	s.vals = make(map[string]int)
+	delete(s.vals, "a")
+	s.mu.Unlock()
+}
+
+// explode panics on purpose — which is precisely a call that can
+// panic while the lock is bare.
+func explode(s *store) {
+	s.mu.Lock()
+	if len(s.vals) > 1024 {
+		panic("store overflow") // want [panicsafe] s.mu is held without a deferred unlock across a call to panic
+	}
+	s.mu.Unlock()
+}
+
+// audited documents why the call is safe instead of deferring.
+func audited(s *store) {
+	s.mu.Lock()
+	//sched:lint-ignore panicsafe touch is a no-op leaf: it reads nothing and cannot panic
+	touch(s)
+	s.mu.Unlock()
+}
+
+// NotInTree has the same shape as bare but no recover boundary
+// reaches it: a panic here crashes the process, and a crashed process
+// leaks no locks.
+func NotInTree(s *store) {
+	s.mu.Lock()
+	touch(s)
+	s.mu.Unlock()
+}

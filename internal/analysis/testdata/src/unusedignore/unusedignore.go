@@ -1,0 +1,36 @@
+// Golden cases for the unused-suppression audit (strict mode): a
+// lint-ignore whose pass runs but never fires on its lines is itself
+// a finding, so suppressions cannot outlive the code they excused.
+package unusedignore
+
+// Hot's allocation really fires and really is suppressed: the
+// suppression is used and stays silent.
+//
+//sched:noalloc
+func Hot(n int) []int {
+	//sched:lint-ignore noalloc the caller amortizes this one allocation across the whole run
+	return make([]int, n)
+}
+
+// Stale carries a suppression for a finding that no longer fires —
+// the loop below stopped allocating long ago.
+//
+//sched:noalloc
+func Stale(xs []int) int {
+	t := 0
+	//sched:lint-ignore noalloc summing used to build a scratch slice here // want [lint-ignore] unused suppression: no noalloc finding fires here
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// WrongPass suppresses a pass that never fires on this line even
+// though another pass does: the noalloc finding survives AND the
+// arenalife suppression is reported stale.
+//
+//sched:noalloc
+func WrongPass(n int) []int {
+	//sched:lint-ignore arenalife mistaken pass name, kept as a regression case // want [lint-ignore] unused suppression: no arenalife finding fires here
+	return make([]int, n) // want [noalloc] make allocates
+}

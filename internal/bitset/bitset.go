@@ -44,6 +44,8 @@ func (s *Set) grow(i int) {
 }
 
 // Set sets bit i, growing the set if necessary.
+//
+//sched:noalloc
 func (s *Set) Set(i int) {
 	if i < 0 {
 		panic("bitset: negative index")
@@ -130,6 +132,8 @@ func (s *Set) Reset() {
 // allocation-free equivalent of New(n) for pooled sets: per-worker
 // arenas call it once per block on each recycled node bit map, so the
 // steady-state DAG construction path never allocates a set.
+//
+//sched:noalloc
 func (s *Set) Reuse(n int) {
 	need := (n + wordBits - 1) / wordBits
 	if cap(s.words) < need {
@@ -277,6 +281,8 @@ type Slab struct {
 // backed by one contiguous zeroed arena. The returned slice and the
 // sets it points to are owned by the slab and invalidated by the next
 // Carve.
+//
+//sched:noalloc
 func (sl *Slab) Carve(n, bits int) []*Set {
 	if n == 0 {
 		return nil

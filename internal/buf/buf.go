@@ -8,6 +8,8 @@
 package buf
 
 // Int32 returns a zeroed []int32 of length n, reusing s's capacity.
+//
+//sched:noalloc
 func Int32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
@@ -20,6 +22,8 @@ func Int32(s []int32, n int) []int32 {
 }
 
 // Int64 returns a zeroed []int64 of length n, reusing s's capacity.
+//
+//sched:noalloc
 func Int64(s []int64, n int) []int64 {
 	if cap(s) < n {
 		return make([]int64, n)
@@ -32,6 +36,8 @@ func Int64(s []int64, n int) []int64 {
 }
 
 // Uint64 returns a zeroed []uint64 of length n, reusing s's capacity.
+//
+//sched:noalloc
 func Uint64(s []uint64, n int) []uint64 {
 	if cap(s) < n {
 		return make([]uint64, n)
@@ -44,6 +50,8 @@ func Uint64(s []uint64, n int) []uint64 {
 }
 
 // Bool returns a false-filled []bool of length n, reusing s's capacity.
+//
+//sched:noalloc
 func Bool(s []bool, n int) []bool {
 	if cap(s) < n {
 		return make([]bool, n)

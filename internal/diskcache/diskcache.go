@@ -151,8 +151,8 @@ type Cache struct {
 
 	// mu serializes in-process writers; flock serializes cross-process
 	// ones. Lookups take neither.
-	mu     sync.Mutex
-	closed bool //sched:guarded-by mu
+	mu     sync.Mutex //sched:lock-rank 40
+	closed bool       //sched:guarded-by mu
 }
 
 // Record is one schedule to memoize, the unit of AppendBatch.

@@ -53,7 +53,7 @@ type diskTier struct {
 	ro bool
 	wg sync.WaitGroup
 
-	mu      sync.Mutex
+	mu      sync.Mutex         //sched:lock-rank 30
 	pending []diskcache.Record //sched:guarded-by mu
 	closed  bool               //sched:guarded-by mu
 	kick    chan struct{}      // wakes the flusher; buffered, never blocks

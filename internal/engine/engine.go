@@ -433,6 +433,8 @@ func (e *Engine) Run(blocks []*block.Block) (*BatchResult, error) {
 // mid-pipeline finishes — the engine never abandons a claimed block
 // half-written). A cancelled run returns ctx's error; the result's
 // contents are then partial and its Stats are not computed.
+//
+//sched:cancellable
 func (e *Engine) RunCtx(ctx context.Context, blocks []*block.Block) (*BatchResult, error) {
 	return e.RunIntoCtx(ctx, new(BatchResult), blocks)
 }
@@ -443,6 +445,8 @@ func (e *Engine) RunInto(res *BatchResult, blocks []*block.Block) (*BatchResult,
 }
 
 // RunIntoCtx is RunCtx recycling a previous BatchResult's storage.
+//
+//sched:cancellable
 func (e *Engine) RunIntoCtx(ctx context.Context, res *BatchResult, blocks []*block.Block) (*BatchResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -624,6 +628,8 @@ func cancelled(done <-chan struct{}) bool {
 // copies the memoized schedule into the slot and skips the entire
 // pipeline; everything else descends the degradation ladder, which
 // always produces a gated schedule.
+//
+//sched:recover-boundary
 func (e *Engine) process(w *worker, res *BatchResult, blocks []*block.Block, i int) {
 	b := blocks[i]
 	t0 := time.Now()

@@ -336,6 +336,7 @@ func (e *Engine) ladder(w *worker, b *block.Block, h uint64) (Rung, blockPath, *
 			}
 		}
 	}
+	//sched:lint-ignore cancelpoll every iteration demotes the rung or returns, so the loop is bounded by the rung count
 	for {
 		r, d, path, err := e.attempt(w, b, rung)
 		switch {

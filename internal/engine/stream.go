@@ -180,12 +180,18 @@ type streamRun struct {
 	window     int64
 	slots      []streamSlot
 
-	mu   sync.Mutex
+	mu   sync.Mutex //sched:lock-rank 10
 	cond *sync.Cond
 	// base is the next sequence number the emitter will deliver; every
 	// seq below it has been sinked (or abandoned to cancellation). Slot
 	// states, the fields below and the ring all share this lock.
-	base        int64 //sched:guarded-by mu
+	//
+	//sched:signals cond
+	base int64 //sched:guarded-by mu
+	// finished is the stream-wide stop predicate: waiters re-check it on
+	// every wakeup.
+	//
+	//sched:signals cond
 	finished    bool  //sched:guarded-by mu
 	pendingPeak int64 //sched:guarded-by mu
 	firstErr    error //sched:guarded-by mu
@@ -195,6 +201,8 @@ type streamRun struct {
 	// in-flight span to shrink, or a depositor waiting out a slot the
 	// emitter is still sinking. The emitter only broadcasts after
 	// freeing slots when one is actually waiting.
+	//
+	//sched:signals cond
 	ringWaiters int //sched:guarded-by mu
 
 	bigQ      chan streamItem
@@ -310,6 +318,7 @@ func (s *streamRun) emitLoop(done chan struct{}) {
 		// slots is safe: depositors wait on slotFree, not on base.
 		start := s.base
 		n := int64(0)
+		//sched:lint-ignore cancelpoll bounded by the ring: each iteration flips one ready slot to sinking, at most window slots
 		for {
 			sl := &s.slots[(start+n)%s.window]
 			if sl.state != slotReady {
@@ -466,6 +475,8 @@ func (e *Engine) streamWorker(w *worker, s *streamRun, wi int, done <-chan struc
 // streaming twin of process: same ladder, same injection hooks, so
 // schedules (and rungs, which are content-keyed) are byte-identical to
 // a batch run over the same corpus.
+//
+//sched:recover-boundary
 func (e *Engine) streamBlock(w *worker, s *streamRun, wi int, it streamItem) {
 	b := it.b
 	t0 := time.Now()
@@ -592,6 +603,8 @@ func (e *Engine) streamServeHit(w *worker, b *block.Block, ent *cacheEntry, h ui
 // workers stop claiming at the next block boundary, the sink sees a
 // dense prefix of the stream, and ctx's error is returned with the
 // partial Stats.
+//
+//sched:cancellable
 func (e *Engine) RunStream(ctx context.Context, src <-chan *block.Block, sink func(BlockOutcome)) (Stats, error) {
 	if src == nil {
 		return Stats{}, &ConfigError{Field: "src", Value: nil, Reason: "RunStream needs a source channel"}
@@ -647,7 +660,14 @@ func (e *Engine) RunStream(ctx context.Context, src <-chan *block.Block, sink fu
 
 	done := ctx.Done()
 	start := time.Now()
-	go s.dispatch(src, done, chunk)
+	// The dispatcher is joined explicitly: on a cancelled stream it can
+	// outlive the workers (wg.Wait only covers them), and it writes the
+	// queue peaks this function reads after the pipeline drains.
+	dispDone := make(chan struct{})
+	go func() {
+		defer close(dispDone)
+		s.dispatch(src, done, chunk)
+	}()
 	var wg sync.WaitGroup
 	for wi, w := range e.workers {
 		wg.Add(1)
@@ -664,6 +684,7 @@ func (e *Engine) RunStream(ctx context.Context, src <-chan *block.Block, sink fu
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	<-emitDone
+	<-dispDone
 	wall := time.Since(start)
 
 	st := Stats{Workers: nw, WallSeconds: wall.Seconds(), StreamDepth: depth}

@@ -1,7 +1,9 @@
 #!/bin/sh
-# CI gate: vet, the schedlint static-analysis suite (zero-alloc,
-# arena-lifetime, lock-discipline and benchmark-hygiene invariants;
-# see DESIGN.md §7), build, the full test suite under the race detector
+# CI gate: vet, the schedlint static-analysis suite — all nine passes
+# (zero-alloc, arena-lifetime, guarded-field, benchmark-hygiene,
+# lock-order, atomic-field, condvar-loop, cancellation-poll and
+# panic-safety invariants) in strict mode, which also fails on stale
+# //sched:lint-ignore suppressions; see DESIGN.md §7 — build, the full test suite under the race detector
 # (which exercises the batch engine's 8-worker determinism test for
 # data races between worker arenas), the cache-enabled determinism
 # test re-run under -race at count=3 (eight workers racing lookups,
@@ -36,8 +38,8 @@ cd "$(dirname "$0")/.."
 echo "== go vet"
 go vet ./...
 
-echo "== schedlint"
-go run ./cmd/schedlint ./...
+echo "== schedlint (strict, all nine passes)"
+go run ./cmd/schedlint -strict -stats ./...
 
 echo "== go build"
 go build ./...
