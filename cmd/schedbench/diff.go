@@ -143,6 +143,18 @@ func compareEngineFiles(base, fresh *engineFile, tol float64, w io.Writer) (regr
 			fr.Name, ba.Parallel.InstsPerSec, fr.Parallel.InstsPerSec, delta*100,
 			fr.Parallel.P50Micros, fr.Parallel.P99Micros, verdict)
 	}
+	if base.PackedSel != nil && fresh.PackedSel != nil {
+		compared++
+		verdict := "ok"
+		if fresh.PackedSel.Packed.InstsPerSec < base.PackedSel.Packed.InstsPerSec*(1-tol) {
+			regressions++
+			verdict = "REGRESSED throughput"
+		}
+		fmt.Fprintf(w, "%-12s %14.0f %14.0f %+7.1f%% %10s %10s  %s\n",
+			"packedsel", base.PackedSel.Packed.InstsPerSec, fresh.PackedSel.Packed.InstsPerSec,
+			(fresh.PackedSel.Packed.InstsPerSec/base.PackedSel.Packed.InstsPerSec-1)*100,
+			"-", "-", verdict)
+	}
 	if base.Stream != nil && fresh.Stream != nil {
 		compared++
 		verdict := "ok"

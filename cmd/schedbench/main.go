@@ -9,8 +9,8 @@
 //	           [-model pipe1|fpu|asym|super2] [-runs 5] [-bench name]
 //	schedbench -parallel [-workers N] [-builder tableb|tablef]
 //	           [-verify] [-csr=bool] [-cache=bool]
-//	           [-adaptive=bool] [-crossover N] [-chunk N]
-//	           [-json BENCH_engine.json]
+//	           [-adaptive=bool] [-packedsel=bool] [-crossover N]
+//	           [-chunk N] [-json BENCH_engine.json]
 //	schedbench -chaos [-seed N] [-faultrate r] [-workers N]
 //	           [-bench name]
 //	schedbench -stream [-insts 100e6] [-depth N] [-workers N]
@@ -39,6 +39,13 @@
 // blocks is appended, and each benchmark's per-size-bin breakdown is
 // printed and recorded. -crossover and -chunk pass through to
 // engine.Config (0 = calibrate / default).
+//
+// With -packedsel (the default) the mixed corpus is additionally raced
+// with the schedule cache disabled against a DisablePackedSel engine,
+// so the report isolates what the packed-priority selection engine —
+// precomputed priority words, heap pick loop, 8-byte arcs — buys over
+// the winnowing rescan; the result lands in the JSON's "packedsel"
+// section.
 //
 // -chaos runs the fault-injection gate (see chaos.go): a seeded
 // fault.Plan is fired at the engine over the selected benchmark
@@ -124,6 +131,7 @@ func run() (code int) {
 		csr      = flag.Bool("csr", true, "use the frozen flat-adjacency (CSR) hot path for -parallel")
 		cache    = flag.Bool("cache", true, "enable the block-fingerprint schedule cache for -parallel")
 		adaptive = flag.Bool("adaptive", true, "use adaptive builder dispatch + binned distribution for -parallel, racing a fixed-pipeline engine")
+		packed   = flag.Bool("packedsel", true, "race the packed-priority selection engine against the winnowing rescan (cache off, mixed corpus) for -parallel")
 		cross    = flag.Int("crossover", 0, "adaptive n² size threshold for -parallel (0 = calibrate, <0 = never)")
 		chunk    = flag.Int("chunk", 0, "small-block chunk size per atomic fetch for -parallel (0 = default)")
 		jsonOut  = flag.String("json", "BENCH_engine.json", "file for -parallel engine statistics JSON")
@@ -261,7 +269,8 @@ func run() (code int) {
 	if *par {
 		cfg := parallelConfig{
 			workers: *workers, builder: *builder, verify: *verify, csr: *csr,
-			cache: *cache, adaptive: *adaptive, crossover: *cross, chunk: *chunk,
+			cache: *cache, adaptive: *adaptive, packedsel: *packed,
+			crossover: *cross, chunk: *chunk,
 		}
 		if err := runParallel(sets, m, *model, cfg, *jsonOut); err != nil {
 			return fail(exitRuntime, "%v", err)
@@ -339,6 +348,19 @@ type engineFile struct {
 	// Warmstart is the -cachefile run's section, written by
 	// mergeWarmstartReport and likewise preserved.
 	Warmstart *warmstartReport `json:"warmstart,omitempty"`
+	// PackedSel is the -packedsel race's section, rewritten by -parallel
+	// runs with -packedsel on and preserved by everything else.
+	PackedSel *packedselReport `json:"packedsel,omitempty"`
+}
+
+// packedselReport records the packed-priority selection race: the same
+// mixed corpus scheduled with the cache disabled (so every block pays
+// for selection) by the default engine and by a DisablePackedSel
+// engine, both warm. Speedup is winnow wall over packed wall.
+type packedselReport struct {
+	Packed  engine.Stats `json:"packed"`
+	Winnow  engine.Stats `json:"winnow"`
+	Speedup float64      `json:"speedup"`
 }
 
 // parallelConfig carries the -parallel flag group.
@@ -349,6 +371,7 @@ type parallelConfig struct {
 	csr       bool
 	cache     bool
 	adaptive  bool
+	packedsel bool
 	crossover int
 	chunk     int
 }
@@ -375,16 +398,17 @@ func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string,
 	if err != nil {
 		return err
 	}
+	// The pooled mixed corpus: tiny spice-like blocks riding alongside
+	// windowed fpppp giants. It is the adaptive dispatch's home turf and
+	// the packed-selection race's measuring ground.
+	var mixed []*block.Block
+	for _, set := range sets {
+		mixed = append(mixed, set.Blocks...)
+	}
 	var fixedPar *engine.Engine
 	if cfg.adaptive {
 		if fixedPar, err = mk(cfg.workers, true); err != nil {
 			return err
-		}
-		// The pooled mixed corpus is the adaptive dispatch's home turf:
-		// tiny spice-like blocks riding alongside windowed fpppp giants.
-		var mixed []*block.Block
-		for _, set := range sets {
-			mixed = append(mixed, set.Blocks...)
 		}
 		sets = append(sets, tables.BenchmarkSet{Name: "mixed", Blocks: mixed})
 	}
@@ -461,17 +485,85 @@ func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string,
 		}
 	}
 
+	if cfg.packedsel {
+		rep, err := runPackedSelRace(mixed, m, cfg)
+		if err != nil {
+			return err
+		}
+		doc.PackedSel = rep
+		fmt.Printf("\npacked selection race (mixed, cache off): packed %.0f insts/s (%d/%d blocks packed), winnow %.0f insts/s, speedup %.2fx\n",
+			rep.Packed.InstsPerSec, rep.Packed.PackedSelBlocks, rep.Packed.Blocks,
+			rep.Winnow.InstsPerSec, rep.Speedup)
+	}
+
 	// -stream and -cachefile sections recorded by earlier runs ride
-	// along.
+	// along (and the packedsel section too, when this run didn't race it).
 	if old, err := readEngineFile(jsonPath); err == nil {
 		doc.Stream = old.Stream
 		doc.Warmstart = old.Warmstart
+		if doc.PackedSel == nil {
+			doc.PackedSel = old.PackedSel
+		}
 	}
 	if err := writeEngineFile(jsonPath, &doc); err != nil {
 		return err
 	}
 	fmt.Printf("\nengine statistics written to %s\n", jsonPath)
 	return nil
+}
+
+// runPackedSelRace measures the packed-priority selection engine
+// against the winnowing rescan on the mixed corpus. The schedule cache
+// is off for both engines so every block pays for selection on every
+// run — with it on, a warm pass would serve hits and measure memcpy,
+// not the pick loop. Both engines are warmed with one full pass, then
+// the timed passes alternate arms and each arm keeps its best (lowest
+// wall) pass: interleaving cancels slow drift in machine load, and the
+// per-arm minimum discards transient stalls the way benchstat's min
+// column does, so the recorded speedup reflects the code, not the
+// neighbors on the box.
+func runPackedSelRace(mixed []*block.Block, m *machine.Model, cfg parallelConfig) (*packedselReport, error) {
+	mk := func(disable bool) (*engine.Engine, error) {
+		return engine.New(engine.Config{
+			Workers: cfg.workers, Model: m, Builder: cfg.builder,
+			DisableCSR: !cfg.csr, DisablePackedSel: disable,
+			Crossover: cfg.crossover, ChunkSize: cfg.chunk,
+		})
+	}
+	rep := new(packedselReport)
+	arms := []struct {
+		disable bool
+		stats   *engine.Stats
+	}{{false, &rep.Packed}, {true, &rep.Winnow}}
+	engines := make([]*engine.Engine, len(arms))
+	res := new(engine.BatchResult)
+	for i, arm := range arms {
+		e, err := mk(arm.disable)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.RunInto(res, mixed); err != nil {
+			return nil, fmt.Errorf("packedsel race: %w", err)
+		}
+		engines[i] = e
+	}
+	// Passes are cheap (the mixed corpus is small) and the best-of-N
+	// estimate converges on the machine's true speed as N grows.
+	const passes = 10
+	for pass := 0; pass < passes; pass++ {
+		for i, arm := range arms {
+			if _, err := engines[i].RunInto(res, mixed); err != nil {
+				return nil, fmt.Errorf("packedsel race: %w", err)
+			}
+			if pass == 0 || res.Stats.WallSeconds < arm.stats.WallSeconds {
+				*arm.stats = res.Stats
+			}
+		}
+	}
+	if rep.Packed.WallSeconds > 0 {
+		rep.Speedup = rep.Winnow.WallSeconds / rep.Packed.WallSeconds
+	}
+	return rep, nil
 }
 
 // printBins renders one warm adaptive run's per-size-bin breakdown:

@@ -23,6 +23,14 @@ type CSR struct {
 	succOff  []int32 // len n+1; succArcs[succOff[i]:succOff[i+1]] = node i's Succs
 	predOff  []int32 // len n+1; predArcs[predOff[i]:predOff[i+1]] = node i's Preds
 	frozen   bool
+
+	// Packed 8-byte twins of succArcs/predArcs (see packed.go), filled
+	// by freeze unless the block exceeds the packed limits. spill holds
+	// the rare delays too wide for the packed record's 16-bit field.
+	succPacked []PackedArc
+	predPacked []PackedArc
+	spill      []int32
+	packed     bool
 }
 
 // Succs returns node i's successor arcs, in the same order as
@@ -87,6 +95,7 @@ func (c *CSR) freeze(d *DAG) {
 	}
 	c.succOff[n] = int32(len(c.succArcs))
 	c.predOff[n] = int32(len(c.predArcs))
+	c.packFreeze(n)
 	c.frozen = true
 }
 

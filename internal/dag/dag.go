@@ -312,6 +312,26 @@ func (d *DAG) validateCSR() error {
 			}
 		}
 	}
+	if c.packed {
+		if len(c.succPacked) != d.NumArcs || len(c.predPacked) != d.NumArcs {
+			return fmt.Errorf("csr: %d packed succ / %d packed pred arcs, NumArcs %d",
+				len(c.succPacked), len(c.predPacked), d.NumArcs)
+		}
+		for k, arc := range c.succArcs {
+			p := c.succPacked[k]
+			if p.Node() != arc.To || p.Kind() != arc.Kind || c.Delay(p) != arc.Delay {
+				return fmt.Errorf("csr: packed succ record %d decodes to (%d,%v,%d), arc is (%d,%v,%d)",
+					k, p.Node(), p.Kind(), c.Delay(p), arc.To, arc.Kind, arc.Delay)
+			}
+		}
+		for k, arc := range c.predArcs {
+			p := c.predPacked[k]
+			if p.Node() != arc.From || p.Kind() != arc.Kind || c.Delay(p) != arc.Delay {
+				return fmt.Errorf("csr: packed pred record %d decodes to (%d,%v,%d), arc is (%d,%v,%d)",
+					k, p.Node(), p.Kind(), c.Delay(p), arc.From, arc.Kind, arc.Delay)
+			}
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,152 @@
+package dag
+
+// Packed CSR arc records. The frozen CSR's two flat arc arrays are the
+// hottest memory in the repo — the scheduler's place() successor walk
+// and the fused reverse heuristic sweep stream them once per block —
+// and a dag.Arc is 16 bytes (From, To, Delay int32 plus a padded
+// DepKind). Inside a CSR span one of the endpoints is implicit: the
+// successor array is grouped by From and the predecessor array by To,
+// so each record only needs the *other* endpoint. Packing that
+// endpoint, the delay and the kind into a single uint64 halves the
+// bytes the hot loops pull through the cache hierarchy.
+//
+// Record layout (low bit first):
+//
+//	bits  0..20  peer node index (To in the succ array, From in pred)
+//	bits 21..36  arc delay, or the spill-table index when bit 39 is set
+//	bits 37..38  DepKind (RAW/WAR/WAW)
+//	bit  39      spill flag: delay did not fit 16 bits, read the table
+//	bits 40..63  zero
+//
+// Delays on real machine models are single-digit cycles, so the spill
+// table is almost always empty; it exists so the packed view never has
+// to lie about a pathological arc. Packing is skipped entirely — the
+// accessors report it absent and consumers fall back to the 16-byte
+// records — when the block has more than PackedMaxNodes instructions
+// or more oversize delays than the 16-bit spill index can address.
+type PackedArc uint64
+
+const (
+	packedNodeBits  = 21
+	packedDelayBits = 16
+	packedKindShift = packedNodeBits + packedDelayBits // 37
+	packedSpillBit  = PackedArc(1) << 39
+
+	packedNodeMask  = 1<<packedNodeBits - 1
+	packedDelayMask = 1<<packedDelayBits - 1
+
+	// PackedMaxNodes is the largest node count the packed record's peer
+	// field can address; bigger blocks keep the 16-byte arc layout.
+	PackedMaxNodes = 1 << packedNodeBits
+
+	// packedMaxSpills bounds the spill table: the delay field doubles as
+	// the spill index, so it has the same width as a delay.
+	packedMaxSpills = 1 << packedDelayBits
+)
+
+// packArc encodes one arc endpoint. spilled reports that the delay was
+// routed to the side table (the caller must have appended it at index
+// spillIdx).
+//
+//sched:noalloc
+func packArc(peer int32, kind DepKind, delay int32, spillIdx int) (p PackedArc, spilled bool) {
+	p = PackedArc(uint64(peer) | uint64(kind)<<packedKindShift)
+	if uint32(delay) <= packedDelayMask {
+		return p | PackedArc(uint64(delay)<<packedNodeBits), false
+	}
+	return p | packedSpillBit | PackedArc(uint64(spillIdx)<<packedNodeBits), true
+}
+
+// Node returns the record's explicit endpoint: the child (To) for a
+// successor record, the parent (From) for a predecessor record.
+//
+//sched:noalloc
+func (p PackedArc) Node() int32 { return int32(p & packedNodeMask) }
+
+// Kind returns the dependence kind.
+//
+//sched:noalloc
+func (p PackedArc) Kind() DepKind { return DepKind(p >> packedKindShift & 0b11) }
+
+// HasPacked reports whether the frozen CSR carries the packed 8-byte
+// arc arrays (it does unless the block exceeded the packed limits).
+//
+//sched:noalloc
+func (c *CSR) HasPacked() bool { return c.packed }
+
+// PackedSuccArcs returns the packed successor-arc array, grouped by
+// From exactly like SuccArcs; index with SuccSpan. Empty when
+// HasPacked is false.
+//
+//sched:noalloc
+func (c *CSR) PackedSuccArcs() []PackedArc { return c.succPacked }
+
+// PackedPredArcs returns the packed predecessor-arc array, grouped by
+// To exactly like PredArcs. Empty when HasPacked is false.
+//
+//sched:noalloc
+func (c *CSR) PackedPredArcs() []PackedArc { return c.predPacked }
+
+// Delay decodes a packed record's arc delay, following the spill table
+// on the (rare) oversize record.
+//
+//sched:noalloc
+func (c *CSR) Delay(p PackedArc) int32 {
+	v := int32(p >> packedNodeBits & packedDelayMask)
+	if p&packedSpillBit == 0 {
+		return v
+	}
+	return c.spill[v]
+}
+
+// growPacked returns an empty []PackedArc with capacity for at least n
+// records, reusing s's backing array when possible.
+func growPacked(s []PackedArc, n int) []PackedArc {
+	if cap(s) < n {
+		return make([]PackedArc, 0, n)
+	}
+	return s[:0]
+}
+
+// packFreeze fills the packed twins of the flat arc arrays. It runs at
+// the end of freeze, so the 16-byte arrays are final; a block past the
+// packed limits leaves the packed view absent rather than partial.
+//
+//sched:noalloc
+func (c *CSR) packFreeze(n int) {
+	c.packed = false
+	c.succPacked = c.succPacked[:0]
+	c.predPacked = c.predPacked[:0]
+	c.spill = c.spill[:0]
+	if n > PackedMaxNodes {
+		return
+	}
+	m := len(c.succArcs)
+	c.succPacked = growPacked(c.succPacked, m)
+	c.predPacked = growPacked(c.predPacked, m)
+	for _, arc := range c.succArcs {
+		p, spilled := packArc(arc.To, arc.Kind, arc.Delay, len(c.spill))
+		if spilled {
+			if len(c.spill) == packedMaxSpills {
+				return // spill index exhausted: keep the 16-byte layout
+			}
+			//sched:lint-ignore noalloc oversize-delay spills are a pathological fault path, never the steady state
+			c.spill = append(c.spill, arc.Delay)
+		}
+		//sched:lint-ignore noalloc growPacked reserved capacity for all arcs above
+		c.succPacked = append(c.succPacked, p)
+	}
+	for _, arc := range c.predArcs {
+		p, spilled := packArc(arc.From, arc.Kind, arc.Delay, len(c.spill))
+		if spilled {
+			if len(c.spill) == packedMaxSpills {
+				return
+			}
+			//sched:lint-ignore noalloc oversize-delay spills are a pathological fault path, never the steady state
+			c.spill = append(c.spill, arc.Delay)
+		}
+		//sched:lint-ignore noalloc growPacked reserved capacity for all arcs above
+		c.predPacked = append(c.predPacked, p)
+	}
+	c.packed = true
+}

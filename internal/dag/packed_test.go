@@ -1,0 +1,146 @@
+package dag
+
+import (
+	"testing"
+
+	"daginsched/internal/machine"
+	"daginsched/internal/resource"
+)
+
+// TestPackedRoundTrip freezes DAGs from every builder and checks the
+// packed 8-byte records decode to exactly the 16-byte arcs, both via
+// Validate's cross-check and by walking the spans by hand.
+func TestPackedRoundTrip(t *testing.T) {
+	m := machine.Pipe1()
+	for _, bld := range AllBuilders() {
+		rt := resource.NewTable(resource.MemExprModel)
+		b := csrTestBlock(91, 80)
+		rt.PrepareBlock(b.Insts)
+		d := bld.Build(b, m, rt)
+		c := d.Freeze()
+		if !c.HasPacked() {
+			t.Fatalf("%s: packed view absent for an ordinary block", bld.Name())
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: Validate: %v", bld.Name(), err)
+		}
+		sp := c.PackedSuccArcs()
+		pp := c.PackedPredArcs()
+		for i := int32(0); int(i) < d.Len(); i++ {
+			lo, hi := c.SuccSpan(i)
+			for k, arc := range c.Succs(i) {
+				p := sp[lo+int32(k)]
+				if p.Node() != arc.To || p.Kind() != arc.Kind || c.Delay(p) != arc.Delay {
+					t.Fatalf("%s: node %d packed succ %d = (%d,%v,%d), want (%d,%v,%d)",
+						bld.Name(), i, k, p.Node(), p.Kind(), c.Delay(p), arc.To, arc.Kind, arc.Delay)
+				}
+			}
+			_ = hi
+			for k, arc := range c.Preds(i) {
+				p := pp[c.predOff[i]+int32(k)]
+				if p.Node() != arc.From || p.Kind() != arc.Kind || c.Delay(p) != arc.Delay {
+					t.Fatalf("%s: node %d packed pred %d diverges", bld.Name(), i, k)
+				}
+			}
+		}
+	}
+}
+
+// packedTestDAG hand-builds a small DAG with the given arc delays so
+// the spill machinery can be driven directly.
+func packedTestDAG(t *testing.T, delays []int32) *DAG {
+	t.Helper()
+	b := csrTestBlock(7, len(delays)+1)
+	d := newDAG(b, "packed-test")
+	for i, delay := range delays {
+		d.addArc(int32(i), int32(i+1), RAW, delay)
+	}
+	return d
+}
+
+// TestPackedOverflowSpill drives delays past the 16-bit field and
+// checks they round-trip through the spill table, on both mirrors.
+func TestPackedOverflowSpill(t *testing.T) {
+	delays := []int32{1, 70000, 3, 1 << 20, 65535, 65536}
+	d := packedTestDAG(t, delays)
+	c := d.Freeze()
+	if !c.HasPacked() {
+		t.Fatal("packed view absent")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Three delays are oversize; each spills once per mirror.
+	if len(c.spill) != 6 {
+		t.Fatalf("spill table holds %d entries, want 6", len(c.spill))
+	}
+	spilled := 0
+	for k, arc := range c.SuccArcs() {
+		p := c.PackedSuccArcs()[k]
+		if c.Delay(p) != arc.Delay {
+			t.Fatalf("succ %d: packed delay %d, want %d", k, c.Delay(p), arc.Delay)
+		}
+		if p&packedSpillBit != 0 {
+			spilled++
+		}
+	}
+	if spilled != 3 {
+		t.Fatalf("%d succ records spilled, want 3", spilled)
+	}
+	for k, arc := range c.PredArcs() {
+		p := c.PackedPredArcs()[k]
+		if c.Delay(p) != arc.Delay || p.Node() != arc.From {
+			t.Fatalf("pred %d: packed (%d,%d), want (%d,%d)",
+				k, p.Node(), c.Delay(p), arc.From, arc.Delay)
+		}
+	}
+}
+
+// TestPackedRefreezeRecyclesStorage pins that arena-style refreezing
+// (drop the frozen view, freeze again) reuses the packed arrays
+// without allocating, and that a refrozen view is still exact.
+func TestPackedRefreezeRecyclesStorage(t *testing.T) {
+	d := packedTestDAG(t, []int32{1, 2, 100000, 4})
+	d.Freeze()
+	allocs := testing.AllocsPerRun(50, func() {
+		d.csr.frozen = false
+		d.Freeze()
+	})
+	if allocs != 0 {
+		t.Errorf("refreeze allocates %.1f/op, want 0", allocs)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate after refreeze: %v", err)
+	}
+}
+
+// BenchmarkPackedDecode measures the packed successor walk (the
+// scheduler's hottest loop shape) against the 16-byte layout.
+func BenchmarkPackedDecode(b *testing.B) {
+	m := machine.Pipe1()
+	rt := resource.NewTable(resource.MemExprModel)
+	blk := csrTestBlock(5, 400)
+	rt.PrepareBlock(blk.Insts)
+	d := TableBackward{}.Build(blk, m, rt)
+	c := d.Freeze()
+	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			for _, p := range c.PackedSuccArcs() {
+				sink += int64(p.Node()) + int64(c.Delay(p))
+			}
+		}
+		_ = sink
+	})
+	b.Run("arc16", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			for _, a := range c.SuccArcs() {
+				sink += int64(a.To) + int64(a.Delay)
+			}
+		}
+		_ = sink
+	})
+}

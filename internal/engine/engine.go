@@ -61,6 +61,15 @@ type Config struct {
 	// The schedules are identical either way; the switch exists for
 	// benchmarking the layouts against each other.
 	DisableCSR bool
+	// DisablePackedSel turns off the packed-priority selection engine
+	// entirely — neither the indexed ready-heap pick loop nor the packed
+	// static-prefix filter is engaged, and blocks are scheduled through
+	// the plain winnowing rescan even when the fused heuristic sweep
+	// produced an exact packed priority for them. Schedules are
+	// byte-identical either way (the packed word encodes the same ranked
+	// comparison the winnower performs); the switch is the identity
+	// gate's reference arm and the packedsel benchmark's baseline.
+	DisablePackedSel bool
 	// Cache enables the block-fingerprint schedule cache: repeated
 	// blocks skip DAG construction, heuristics and scheduling, copying
 	// the memoized schedule into the result slot. Output is
@@ -154,6 +163,11 @@ type Stats struct {
 	Crossover int        `json:"crossover,omitempty"`
 	ChunkSize int        `json:"chunk_size,omitempty"`
 	Bins      []BinStats `json:"bins,omitempty"`
+	// PackedSelBlocks counts blocks whose schedule was selected through
+	// the packed-priority heap (zero under DisablePackedSel, and for
+	// blocks served from cache, degraded rungs, or whose priority
+	// packing overflowed the exact field widths).
+	PackedSelBlocks int64 `json:"packed_sel_blocks,omitempty"`
 	// Hardening tallies, all zero on a healthy fault-free run:
 	// Quarantines counts worker-scratch discards (panic or gate
 	// failure), Demotions counts rung descents, GateFailures counts
@@ -233,6 +247,10 @@ type worker struct {
 	// summed lock-free into Stats.Bins after the pool drains.
 	bins [nBins]binAcc
 
+	// packedBlocks counts blocks this worker scheduled through the
+	// packed-priority heap, summed into Stats.PackedSelBlocks.
+	packedBlocks int64
+
 	// Hardening state. inj is the engine's fault injector (nil without
 	// a FaultPlan); deadline is the current block's soft deadline (zero
 	// when Config.BlockTimeout is unset); hookPanic/hookCorrupt are the
@@ -264,6 +282,11 @@ func newWorker(cfg *Config) *worker {
 		csr: !cfg.DisableCSR,
 		sel: sched.NewPooledWinnow(sched.Section6Ranked()),
 	}
+	// The unique-expression count is a Table 3 reporting statistic the
+	// engine never reads; its dedup map would hash every memory
+	// reference on every block.
+	w.rt.SetUniqueCounting(false)
+	w.sc.DisablePacked = cfg.DisablePackedSel
 	switch {
 	case cfg.Builder == "tablef":
 		w.bld = dag.TableForward{}
@@ -296,16 +319,26 @@ func (w *worker) schedule(b *block.Block, m *machine.Model) (*sched.Result, *dag
 func (w *worker) finish(d *dag.DAG, m *machine.Model) (*sched.Result, *dag.DAG) {
 	if w.csr {
 		// Freeze the DAG into its flat CSR view; the heuristic pass and
-		// the scheduler below both run over the two flat arc arrays.
+		// the scheduler below both run over the two flat arc arrays (and
+		// the fused sweep packs the selector's priority words as it goes).
 		d.Freeze()
 		w.a.D = d
 		w.a.ComputeFusedCSR()
-	} else if !w.fused {
-		w.a.D = d
-		w.a.ComputeBackward()
-		w.a.ComputeLocal()
+	} else {
+		if !w.fused {
+			w.a.D = d
+			w.a.ComputeBackward()
+			w.a.ComputeLocal()
+		}
+		// The non-CSR pipelines compute the same three ranked keys, so
+		// the heap pick loop is available to them too.
+		w.a.PackSection6Prio()
 	}
-	return w.sc.Forward(d, m, w.a, w.sel), d
+	r := w.sc.Forward(d, m, w.a, w.sel)
+	if w.sc.UsedPacked() {
+		w.packedBlocks++
+	}
+	return r, d
 }
 
 // scheduleN2 is the n²-direct pipeline of adaptive dispatch: build the
@@ -331,7 +364,14 @@ func (w *worker) scheduleN2(b *block.Block, m *machine.Model) (r *sched.Result, 
 	w.a.D = nd
 	w.a.ComputeBackward()
 	w.a.ComputeLocal()
-	return w.sc.Forward(nd, m, w.a, w.sel), nd, true
+	// Same ranked keys as the fused sweep, so the n²-direct pipeline
+	// packs them too and selects through the heap.
+	w.a.PackSection6Prio()
+	r = w.sc.Forward(nd, m, w.a, w.sel)
+	if w.sc.UsedPacked() {
+		w.packedBlocks++
+	}
+	return r, nd, true
 }
 
 // Engine is a reusable batch scheduler. Create one with New, then call
@@ -505,6 +545,7 @@ func (e *Engine) RunIntoCtx(ctx context.Context, res *BatchResult, blocks []*blo
 	for _, w := range e.workers {
 		w.hits, w.misses, w.diskHits = 0, 0, 0
 		w.bins = [nBins]binAcc{}
+		w.packedBlocks = 0
 		w.quars, w.demoted, w.gateFails, w.faults = 0, 0, 0, 0
 	}
 
@@ -579,6 +620,7 @@ func (e *Engine) RunIntoCtx(ctx context.Context, res *BatchResult, blocks []*blo
 		st.CacheHits += w.hits
 		st.CacheMisses += w.misses
 		st.DiskHits += w.diskHits
+		st.PackedSelBlocks += w.packedBlocks
 		st.Quarantines += w.quars
 		st.Demotions += w.demoted
 		st.GateFailures += w.gateFails

@@ -229,6 +229,7 @@ func (w *worker) quarantine(cfg *Config) {
 	fresh.enc = w.enc // plain bytes: cannot alias the discarded arena
 	fresh.hits, fresh.misses = w.hits, w.misses
 	fresh.bins = w.bins
+	fresh.packedBlocks = w.packedBlocks
 	fresh.quars = w.quars + 1
 	fresh.demoted = w.demoted
 	fresh.gateFails = w.gateFails

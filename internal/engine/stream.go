@@ -655,6 +655,7 @@ func (e *Engine) RunStream(ctx context.Context, src <-chan *block.Block, sink fu
 	for _, w := range e.workers {
 		w.hits, w.misses, w.diskHits = 0, 0, 0
 		w.bins = [nBins]binAcc{}
+		w.packedBlocks = 0
 		w.quars, w.demoted, w.gateFails, w.faults = 0, 0, 0, 0
 	}
 
@@ -711,6 +712,7 @@ func (e *Engine) RunStream(ctx context.Context, src <-chan *block.Block, sink fu
 		st.CacheHits += w.hits
 		st.CacheMisses += w.misses
 		st.DiskHits += w.diskHits
+		st.PackedSelBlocks += w.packedBlocks
 		st.Quarantines += w.quars
 		st.Demotions += w.demoted
 		st.GateFailures += w.gateFails

@@ -1,0 +1,77 @@
+package heur
+
+import "daginsched/internal/buf"
+
+// Static priority packing. The engine's default ranking — Section 6's
+// max path to a leaf, then max total delay to a leaf, then summed
+// delays to children — reads only static annotations, all three of
+// which the fused reverse CSR sweep computes. Packing each node's
+// ranked values into one uint64 *while those values are hot* turns the
+// scheduler's entire selection problem into unsigned integer
+// comparisons: the scheduler keeps its ready list as a max-heap over
+// the packed words and never evaluates a heuristic again.
+//
+// Word layout (most significant first):
+//
+//	bits 50..63  max path length to a leaf   (rank 1, 14 bits)
+//	bits 36..49  max total delay to a leaf   (rank 2, 14 bits)
+//	bits 22..35  summed delays to children   (rank 3, 14 bits)
+//	bits  0..21  ^node index                 (tiebreak, 22 bits)
+//
+// Comparing two words as integers is exactly the ranked lexicographic
+// comparison, and the complemented node index in the low bits folds
+// the winnower's final min-index tiebreak into the same compare — two
+// distinct nodes never pack to equal words, so any max-finding
+// structure picks the same node the winnow path would.
+//
+// The packing is only used when it is *exact*: every field value in
+// [0, 2^14) and the node count within the 22-bit tiebreak. A block
+// that overflows either bound (PrioExact false) simply keeps the
+// winnow path; schedules are byte-identical either way, which is what
+// the engine's packed-selection identity gate enforces.
+
+const (
+	// PrioFieldBits is the width of each ranked-key field.
+	PrioFieldBits = 14
+	// PrioTieBits is the width of the low-order node-index tiebreak.
+	PrioTieBits = 22
+
+	prioFieldMax = 1<<PrioFieldBits - 1
+	prioTieMax   = 1<<PrioTieBits - 1
+)
+
+// PackedRankingKeys returns the ranked static keys a packed priority
+// word encodes, most significant first. Selectors whose ranking equals
+// this list (all Max-direction) can be served by packed comparisons.
+func PackedRankingKeys() [3]Key {
+	return [3]Key{MaxPathToLeaf, MaxDelayToLeaf, DelaysToChildren}
+}
+
+// PackSection6Prio fills PackedPrio from MaxPathToLeaf, MaxDelayToLeaf
+// and SumDelayChild (which must already be computed) and reports
+// whether the packing is exact. ComputeFusedCSR calls it as the tail
+// of the fused sweep; pipelines that compute the same annotations
+// separately (the n²-direct path) call it directly.
+//
+//sched:noalloc
+func (a *Annot) PackSection6Prio() bool {
+	n := a.D.Len()
+	a.PrioExact = false
+	if n > prioTieMax+1 {
+		return false
+	}
+	a.PackedPrio = buf.Uint64(a.PackedPrio, n)
+	for i := 0; i < n; i++ {
+		f1, f2, f3 := a.MaxPathToLeaf[i], a.MaxDelayToLeaf[i], a.SumDelayChild[i]
+		if uint32(f1)|uint32(f2)|uint32(f3) > prioFieldMax {
+			// A negative value wraps to a huge uint32 and lands here too.
+			return false
+		}
+		a.PackedPrio[i] = uint64(f1)<<(2*PrioFieldBits+PrioTieBits) |
+			uint64(f2)<<(PrioFieldBits+PrioTieBits) |
+			uint64(f3)<<PrioTieBits |
+			uint64(prioTieMax-i)
+	}
+	a.PrioExact = true
+	return true
+}

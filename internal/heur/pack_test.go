@@ -1,0 +1,131 @@
+package heur
+
+import (
+	"testing"
+
+	"daginsched/internal/block"
+	"daginsched/internal/dag"
+	"daginsched/internal/machine"
+	"daginsched/internal/resource"
+	"daginsched/internal/testgen"
+)
+
+func packTestAnnot(t *testing.T, seed int64, n int) *Annot {
+	t.Helper()
+	m := machine.Pipe1()
+	b := &block.Block{Name: "pack", Insts: testgen.Block(seed, n)}
+	for i := range b.Insts {
+		b.Insts[i].Index = i
+	}
+	rt := resource.NewTable(resource.MemExprModel)
+	rt.PrepareBlock(b.Insts)
+	d := dag.TableBackward{}.Build(b, m, rt)
+	d.Freeze()
+	a := New(d, m)
+	a.ComputeFusedCSR()
+	return a
+}
+
+// TestPackSection6Order pins the tentpole invariant: comparing two
+// packed words as integers is exactly the ranked lexicographic
+// comparison (MaxPathToLeaf, MaxDelayToLeaf, SumDelayChild) with the
+// min-node-index tiebreak, for every node pair.
+func TestPackSection6Order(t *testing.T) {
+	a := packTestAnnot(t, 11, 120)
+	if !a.PrioExact {
+		t.Fatal("packing inexact on an ordinary block")
+	}
+	n := a.D.Len()
+	if len(a.PackedPrio) != n {
+		t.Fatalf("PackedPrio covers %d nodes, want %d", len(a.PackedPrio), n)
+	}
+	// ranked compares i against j the way the winnow path would:
+	// +1 when i wins, -1 when j wins.
+	ranked := func(i, j int) int {
+		keys := [][]int32{a.MaxPathToLeaf, a.MaxDelayToLeaf, a.SumDelayChild}
+		for _, k := range keys {
+			if k[i] != k[j] {
+				if k[i] > k[j] {
+					return 1
+				}
+				return -1
+			}
+		}
+		if i < j {
+			return 1
+		}
+		return -1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			want := ranked(i, j)
+			got := -1
+			if a.PackedPrio[i] > a.PackedPrio[j] {
+				got = 1
+			} else if a.PackedPrio[i] == a.PackedPrio[j] {
+				t.Fatalf("nodes %d and %d pack to equal words", i, j)
+			}
+			if got != want {
+				t.Fatalf("packed order of (%d, %d) = %d, ranked comparison says %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestPackSection6Overflow drives a field past its 14-bit budget and
+// checks the packing declares itself inexact instead of clamping.
+func TestPackSection6Overflow(t *testing.T) {
+	a := packTestAnnot(t, 3, 30)
+	a.MaxDelayToLeaf[4] = 1 << 14 // one overflowing field poisons the block
+	if a.PackSection6Prio() {
+		t.Fatal("overflowing field packed as exact")
+	}
+	if a.PrioExact {
+		t.Fatal("PrioExact true after overflow")
+	}
+	a.MaxDelayToLeaf[4] = -1 // negative values must also refuse
+	if a.PackSection6Prio() {
+		t.Fatal("negative field packed as exact")
+	}
+}
+
+// TestPackInvalidatedByRecompute pins the staleness rule: any pass
+// that rewrites a packed input clears PrioExact until the next pack.
+func TestPackInvalidatedByRecompute(t *testing.T) {
+	a := packTestAnnot(t, 7, 40)
+	if !a.PrioExact {
+		t.Fatal("packing inexact")
+	}
+	a.ComputeBackward()
+	if a.PrioExact {
+		t.Fatal("ComputeBackward left PrioExact set")
+	}
+	a.ComputeFusedCSR()
+	if !a.PrioExact {
+		t.Fatal("ComputeFusedCSR did not re-pack")
+	}
+	a.ComputeLocal()
+	if a.PrioExact {
+		t.Fatal("ComputeLocal left PrioExact set")
+	}
+}
+
+// TestFusedCSRPackedArcsMatch runs the fused sweep over the packed and
+// the 16-byte arc layouts and checks every output annotation matches.
+func TestFusedCSRPackedArcsMatch(t *testing.T) {
+	a := packTestAnnot(t, 19, 150) // packed layout (block well under limits)
+	b := packTestAnnot(t, 19, 150)
+	// Rerun b's sweep with the packed view suppressed by rebuilding the
+	// reference annotations through the unfused passes.
+	b.ComputeBackward()
+	b.ComputeLocal()
+	for i := 0; i < a.D.Len(); i++ {
+		if a.MaxPathToLeaf[i] != b.MaxPathToLeaf[i] ||
+			a.MaxDelayToLeaf[i] != b.MaxDelayToLeaf[i] ||
+			a.SumDelayChild[i] != b.SumDelayChild[i] ||
+			a.MaxDelayChild[i] != b.MaxDelayChild[i] ||
+			a.InterlockChild[i] != b.InterlockChild[i] {
+			t.Fatalf("node %d: packed-arc sweep diverges from unfused passes", i)
+		}
+	}
+}

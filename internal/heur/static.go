@@ -45,6 +45,16 @@ type Annot struct {
 	RegsBorn   []int32 // register definitions live past this node
 	RegsKilled []int32 // register uses whose live range ends here
 	Liveness   []int32 // net register-pressure effect (born - killed)
+
+	// PackedPrio is the per-node packed static priority word (see
+	// pack.go): the Section 6 ranking folded into one uint64 whose
+	// integer order is the ranked lexicographic order with the
+	// min-node-index tiebreak. Valid only while PrioExact is true;
+	// every Compute pass that rewrites one of its inputs clears
+	// PrioExact, and PackSection6Prio (run by ComputeFusedCSR) sets it
+	// when every field fits its bit budget.
+	PackedPrio []uint64
+	PrioExact  bool
 }
 
 // New returns an empty annotation set for d under machine model m.
@@ -71,6 +81,7 @@ func (a *Annot) ComputeAll() *Annot {
 // slice header is touched.
 func (a *Annot) ComputeLocal() {
 	n := a.D.Len()
+	a.PrioExact = false // SumDelayChild is a packed-priority input
 	a.ExecTime = buf.Int32(a.ExecTime, n)
 	a.InterlockChild = buf.Bool(a.InterlockChild, n)
 	a.SumDelayChild = buf.Int32(a.SumDelayChild, n)
@@ -173,6 +184,7 @@ func (a *Annot) ComputeForward() {
 // original instructions in the basic block, produces the same result").
 func (a *Annot) ComputeBackward() {
 	n := a.D.Len()
+	a.PrioExact = false // the to-leaf passes are packed-priority inputs
 	a.MaxPathToLeaf = buf.Int32(a.MaxPathToLeaf, n)
 	a.MaxDelayToLeaf = buf.Int32(a.MaxDelayToLeaf, n)
 	if c := a.D.FrozenCSR(); c != nil {
@@ -208,7 +220,16 @@ func (a *Annot) ComputeBackward() {
 //
 // It fills exactly the annotations FusedBackward with ComputeLocals
 // fills (MaxPathToLeaf, MaxDelayToLeaf, ExecTime, InterlockChild,
-// SumDelayChild, MaxDelayChild), with identical values.
+// SumDelayChild, MaxDelayChild), with identical values, and finishes
+// by packing the Section 6 priority words (PackSection6Prio) while the
+// freshly computed inputs are still cache-hot.
+//
+// When the frozen CSR carries the packed 8-byte arc records the sweep
+// streams those instead of the 16-byte arcs — half the memory traffic
+// on the repo's single hottest loop. The per-node span walk visits the
+// same arcs with the same finality guarantee (a node's span is only
+// entered after every span below it is done), and every accumulation
+// is order-independent, so the values are identical.
 //
 //sched:noalloc
 func (a *Annot) ComputeFusedCSR() {
@@ -222,6 +243,30 @@ func (a *Annot) ComputeFusedCSR() {
 	a.MaxDelayChild = buf.Int32(a.MaxDelayChild, n)
 	for i := 0; i < n; i++ {
 		a.ExecTime[i] = int32(a.M.Latency(a.D.Nodes[i].Inst.Op))
+	}
+	if c.HasPacked() {
+		packed := c.PackedSuccArcs()
+		for i := int32(n) - 1; i >= 0; i-- {
+			lo, hi := c.SuccSpan(i)
+			for _, p := range packed[lo:hi] {
+				to, delay := p.Node(), c.Delay(p)
+				if l := a.MaxPathToLeaf[to] + 1; l > a.MaxPathToLeaf[i] {
+					a.MaxPathToLeaf[i] = l
+				}
+				if d := a.MaxDelayToLeaf[to] + delay; d > a.MaxDelayToLeaf[i] {
+					a.MaxDelayToLeaf[i] = d
+				}
+				a.SumDelayChild[i] += delay
+				if delay > a.MaxDelayChild[i] {
+					a.MaxDelayChild[i] = delay
+				}
+				if delay > 1 {
+					a.InterlockChild[i] = true
+				}
+			}
+		}
+		a.PackSection6Prio()
+		return
 	}
 	arcs := c.SuccArcs()
 	for k := len(arcs) - 1; k >= 0; k-- {
@@ -241,6 +286,7 @@ func (a *Annot) ComputeFusedCSR() {
 			a.InterlockChild[i] = true
 		}
 	}
+	a.PackSection6Prio()
 }
 
 // backwardNode computes the to-leaf heuristics of node i assuming every
@@ -377,6 +423,7 @@ type FusedBackward struct {
 func (f *FusedBackward) Start(d *dag.DAG) {
 	n := d.Len()
 	f.A.D = d
+	f.A.PrioExact = false // the observer rewrites packed-priority inputs
 	f.A.MaxPathToLeaf = buf.Int32(f.A.MaxPathToLeaf, n)
 	f.A.MaxDelayToLeaf = buf.Int32(f.A.MaxDelayToLeaf, n)
 	if f.ComputeLocals {

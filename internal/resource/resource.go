@@ -153,7 +153,18 @@ type Table struct {
 	seen     map[memKey]bool
 	seenKeys []memKey
 	defbuf   []isa.ResRef
+
+	skipUnique bool
 }
+
+// SetUniqueCounting toggles the unique-memory-expression count
+// (UniqueMemExprs, Table 3's last column). It is on by default; the
+// batch engine switches it off because the count is a reporting
+// statistic only, and the dedup map it requires hashes every memory
+// reference's symbolic key on every PrepareBlock — pure overhead in a
+// throughput path that never reads it. With counting off,
+// UniqueMemExprs reports 0.
+func (t *Table) SetUniqueCounting(on bool) { t.skipUnique = !on }
 
 // NewTable returns a table using the given memory model.
 func NewTable(model MemModel) *Table {
@@ -211,9 +222,11 @@ func (t *Table) PrepareBlock(insts []isa.Inst) {
 			continue
 		}
 		m := insts[i].Mem
-		if k := keyOf(m); !t.seen[k] {
-			t.seen[k] = true
-			t.seenKeys = append(t.seenKeys, k)
+		if !t.skipUnique {
+			if k := keyOf(m); !t.seen[k] {
+				t.seen[k] = true
+				t.seenKeys = append(t.seenKeys, k)
+			}
 		}
 		c := ClassOf(m)
 		switch {

@@ -20,8 +20,118 @@ import (
 // glued after it by the same mechanism.
 func Forward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Selector) *Result {
 	s := newState(d, m, a)
-	forwardLoop(s, sel, pinnedTail(d), make([]int32, 0, 16), nil)
+	forced := pinnedTail(d)
+	if prio := packedPrioFor(s, sel); prio != nil {
+		var h readyHeap
+		forwardLoopPacked(s, prio, forced, &h, make([]int32, 0, 4))
+	} else {
+		startBlock(sel, s)
+		forwardLoop(s, sel, forced, make([]int32, 0, 16), nil)
+	}
 	return s.result()
+}
+
+// blockStarter is implemented by selectors that precompute per-block
+// state (PooledWinnow's static-prefix packing). The scheduling loops
+// call it once per block before the first pick.
+type blockStarter interface{ StartBlock(s *State) }
+
+//sched:noalloc
+func startBlock(sel Selector, s *State) {
+	if bs, ok := sel.(blockStarter); ok {
+		bs.StartBlock(s)
+	}
+}
+
+// packedPrioFor reports whether the selector's ranking can be served by
+// the precomputed packed priority words: the annotation must have an
+// exact packing for this block and the ranking must be exactly the
+// packed key list, all in Max direction. When it returns non-nil the
+// heap pick loop selects, at every step, the same node the winnowing
+// (or exact priority-function) pick would — the packed word *is* the
+// ranked lexicographic comparison with the min-index tiebreak.
+//
+//sched:noalloc
+func packedPrioFor(s *State, sel Selector) []uint64 {
+	a := s.A
+	if a == nil || !a.PrioExact || len(a.PackedPrio) != s.D.Len() {
+		return nil
+	}
+	want := heur.PackedRankingKeys()
+	ks := sel.Keys()
+	if len(ks) != len(want) {
+		return nil
+	}
+	for i, rk := range ks {
+		if rk.Min || rk.Key != want[i] {
+			return nil
+		}
+	}
+	return a.PackedPrio
+}
+
+// forwardLoopPacked is the packed-priority scheduling core: the ready
+// list lives in an indexed max-heap keyed by the precomputed priority
+// words, so each pick is O(log candidates) with zero heuristic
+// evaluations. Pinned-tail nodes are parked on held and admitted only
+// when the heap drains, mirroring forwardLoop's swap semantics exactly.
+//
+//sched:noalloc
+func forwardLoopPacked(s *State, prio []uint64, forcedLast []bool, h *readyHeap, held []int32) []int32 {
+	d := s.D
+	n := int32(d.Len())
+	h.reset(int(n))
+	for i := int32(0); i < n; i++ {
+		if s.unschedParents[i] == 0 {
+			if forcedLast[i] {
+				//sched:lint-ignore noalloc amortized: hold-list capacity is retained across blocks by the caller
+				held = append(held, i)
+			} else {
+				h.admitLazy(i, prio[i])
+			}
+		}
+	}
+	h.heapify()
+	c := s.csr
+	packed := c != nil && c.HasPacked()
+	for scheduled := int32(0); scheduled < n; scheduled++ {
+		if h.len() == 0 {
+			// Only pinned-tail nodes remain; release them.
+			for _, i := range held {
+				h.admitLazy(i, prio[i])
+			}
+			held = held[:0]
+			h.heapify()
+		}
+		pick := h.pickMax()
+		s.place(pick)
+		if packed {
+			lo, hi := c.SuccSpan(pick)
+			pa := c.PackedSuccArcs()
+			for _, p := range pa[lo:hi] {
+				if to := p.Node(); s.unschedParents[to] == 0 {
+					if forcedLast[to] {
+						//sched:lint-ignore noalloc amortized: hold-list capacity is retained across blocks by the caller
+						held = append(held, to)
+					} else {
+						h.admit(to, prio[to])
+					}
+				}
+			}
+			continue
+		}
+		for _, arc := range s.succs(pick) {
+			if to := arc.To; s.unschedParents[to] == 0 {
+				if forcedLast[to] {
+					//sched:lint-ignore noalloc amortized: hold-list capacity is retained across blocks by the caller
+					held = append(held, to)
+				} else {
+					h.admit(to, prio[to])
+				}
+			}
+		}
+	}
+	return held
 }
 
 // forwardLoop is the forward list-scheduling core shared by Forward
@@ -105,16 +215,42 @@ type Scratch struct {
 	state       State
 	cands, held []int32
 	forced      []bool
+	heap        readyHeap
 	res         Result
+
+	// DisablePacked restores the plain winnowing rescan: neither the
+	// packed-priority heap nor the selector's packed static prefix is
+	// engaged, so runs reproduce the pre-packing selection loop exactly
+	// — the engine's escape hatch and the identity gate's (and the
+	// packedsel benchmark's) reference configuration.
+	DisablePacked bool
+	usedPacked    bool
 }
 
+// UsedPacked reports whether the last Forward call selected through the
+// packed-priority heap (vs. the winnowing rescan).
+func (sc *Scratch) UsedPacked() bool { return sc.usedPacked }
+
 // Forward is the reuse-aware equivalent of the package-level Forward.
+// When the selector's ranking matches the block's exact packed priority
+// words it dispatches to the heap pick loop; schedules are byte-
+// identical on either path.
 //
 //sched:noalloc
 func (sc *Scratch) Forward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Selector) *Result {
 	s := &sc.state
 	s.reset(d, m, a)
 	sc.forced = pinnedTailInto(buf.Bool(sc.forced, d.Len()), d)
+	sc.usedPacked = false
+	if !sc.DisablePacked {
+		if prio := packedPrioFor(s, sel); prio != nil {
+			sc.usedPacked = true
+			sc.held = forwardLoopPacked(s, prio, sc.forced, &sc.heap, sc.held[:0])
+			s.finish(&sc.res)
+			return &sc.res
+		}
+		startBlock(sel, s)
+	}
 	if cap(sc.cands) == 0 {
 		sc.cands = make([]int32, 0, 16)
 	}
@@ -138,8 +274,10 @@ func (s *State) place(pick int32) {
 	group := machine.IssueGroup(class)
 	for {
 		if at > s.time {
-			// Advancing the clock opens a fresh cycle.
+			// Advancing the clock opens a fresh cycle and invalidates the
+			// selection memos (EffectiveEET caches outlive same-cycle picks).
 			s.time, s.usedSlots, s.usedGroups = at, 0, 0
+			s.memoGen++
 		}
 		if s.usedSlots < s.M.IssueWidth &&
 			(s.M.IssueWidth == 1 || s.usedGroups&(1<<group) == 0) {
@@ -154,18 +292,37 @@ func (s *State) place(pick int32) {
 	//sched:lint-ignore noalloc reset pre-sizes order to cap >= n, so n appends never grow it
 	s.order = append(s.order, pick)
 	s.last = pick
-	// Occupy a function unit.
+	// Occupy a function unit. Occupation changes what unitFree — and
+	// therefore EffectiveEET — returns, so it bumps the memo generation.
 	if units := s.unitBusy[class]; len(units) > 0 {
 		_, ui := s.unitFree(class)
 		units[ui] = at + int32(s.M.UnitBusy(in.Op))
+		s.memoGen++
 	}
 	// Update children: unscheduled-parent counters and earliest
 	// execution times. On a frozen DAG this is the scheduler's hottest
-	// arc walk and runs over the flat CSR successor array.
+	// arc walk and runs over the packed 8-byte successor records —
+	// half the memory traffic of the 16-byte arcs. A raised EET makes a
+	// child's cached EffectiveEET stale, so its stamp is zeroed (the
+	// dirty set is exactly the placed node's successor span).
+	if c := s.csr; c != nil && c.HasPacked() {
+		lo, hi := c.SuccSpan(pick)
+		pa := c.PackedSuccArcs()
+		for _, p := range pa[lo:hi] {
+			to := p.Node()
+			s.unschedParents[to]--
+			if t := at + c.Delay(p); t > s.eet[to] {
+				s.eet[to] = t
+				s.effStamp[to] = 0
+			}
+		}
+		return
+	}
 	for _, arc := range s.succs(pick) {
 		s.unschedParents[arc.To]--
 		if t := at + arc.Delay; t > s.eet[arc.To] {
 			s.eet[arc.To] = t
+			s.effStamp[arc.To] = 0
 		}
 	}
 }
@@ -197,6 +354,7 @@ func (s *State) finish(r *Result) {
 // forward placement pass so Result carries real issue cycles.
 func Backward(d *dag.DAG, m *machine.Model, a *heur.Annot, sel Selector) *Result {
 	s := newState(d, m, a)
+	startBlock(sel, s)
 	n := int32(d.Len())
 	rev := make([]int32, 0, n)
 	picked := make([]bool, n)

@@ -75,6 +75,25 @@ type State struct {
 	usedSlots  int         // instructions issued in the current cycle
 	usedGroups int         // bitmask of issue groups used this cycle
 	unitBusy   []([]int32) // per class: busy-until time of each unit
+
+	// Selection memos. memoGen is a generation counter bumped whenever
+	// the clock advances or a function unit is occupied — the only two
+	// events (besides a child's EET rising) that can change what
+	// unitFree or EffectiveEET return. A cached value is live iff its
+	// stamp equals memoGen, so invalidation is one integer increment
+	// instead of a sweep. Stamps start at 0 against a memoGen of 1, so a
+	// reset invalidates everything without clearing.
+	memoGen  int32
+	effMemo  []int32 // cached EffectiveEET per node
+	effStamp []int32 // generation the cache entry was filled at
+	ufFree   []int32 // per class: cached earliest-free cycle
+	ufIdx    []int32 // per class: cached free-unit index
+	ufStamp  []int32 // per class: generation of the cached pair
+
+	// epoch counts resets. Selector-side per-block caches (PooledWinnow's
+	// static prefix) key on (state, epoch) so a recycled State — or a
+	// recycled DAG at the same address — can never serve stale values.
+	epoch uint64
 }
 
 func newState(d *dag.DAG, m *machine.Model, a *heur.Annot) *State {
@@ -102,6 +121,13 @@ func (s *State) reset(d *dag.DAG, m *machine.Model, a *heur.Annot) {
 	}
 	s.last = -1
 	s.time, s.usedSlots, s.usedGroups = 0, 0, 0
+	s.epoch++
+	s.memoGen = 1
+	s.effMemo = buf.Int32(s.effMemo, n)
+	s.effStamp = buf.Int32(s.effStamp, n)
+	s.ufFree = buf.Int32(s.ufFree, isa.NumClasses)
+	s.ufIdx = buf.Int32(s.ufIdx, isa.NumClasses)
+	s.ufStamp = buf.Int32(s.ufStamp, isa.NumClasses)
 	if c := s.csr; c != nil {
 		for i := int32(0); i < int32(n); i++ {
 			s.unschedParents[i] = c.NumPreds(i)
@@ -160,11 +186,19 @@ func (s *State) EET(i int32) int32 { return s.eet[i] }
 
 // unitFree returns the earliest cycle at which a function unit for
 // class c is available, and the index of that unit. Classes with no
-// unit limit are always free.
+// unit limit are always free. The linear unit scan is memoized per
+// class per generation: unit busy-until times only change when place
+// occupies a unit (which bumps memoGen), so between occupations every
+// selector probe of the same class is a stamp compare and two loads.
+//
+//sched:noalloc
 func (s *State) unitFree(c isa.Class) (int32, int) {
 	units := s.unitBusy[c]
 	if len(units) == 0 {
 		return 0, -1
+	}
+	if s.ufStamp[c] == s.memoGen {
+		return s.ufFree[c], int(s.ufIdx[c])
 	}
 	best, bi := units[0], 0
 	for i, t := range units[1:] {
@@ -172,6 +206,7 @@ func (s *State) unitFree(c isa.Class) (int32, int) {
 			best, bi = t, i+1
 		}
 	}
+	s.ufFree[c], s.ufIdx[c], s.ufStamp[c] = best, int32(bi), s.memoGen
 	return best, bi
 }
 
@@ -180,11 +215,25 @@ func (s *State) unitFree(c isa.Class) (int32, int) {
 // pipelined, then structural hazards can be considered by performing a
 // maximum earliest starting time calculation that includes the finish
 // times of any required function units").
+//
+// The result is memoized under the dirty-set rule: a cached entry
+// survives until the generation bumps (clock advance or unit
+// occupation) or the node's own EET rises because a parent was placed
+// (place zeroes that node's stamp). Winnowing selectors evaluate this
+// key twice per candidate per pick — once scanning for the best value,
+// once filtering — so even within a single pick the memo halves the
+// work.
+//
+//sched:noalloc
 func (s *State) EffectiveEET(i int32) int32 {
+	if s.effStamp[i] == s.memoGen {
+		return s.effMemo[i]
+	}
 	t := s.eet[i]
 	if free, _ := s.unitFree(s.D.Nodes[i].Inst.Class()); free > t {
 		t = free
 	}
+	s.effMemo[i], s.effStamp[i] = t, s.memoGen
 	return t
 }
 

@@ -10,7 +10,10 @@
 # first-wins inserts and shard resets against a shared schedule
 # cache), the adaptive-dispatch identity gate (byte-identical
 # schedules from the adaptive and fixed pipelines at eight workers,
-# under -race), the chaos gate (a seeded fault plan firing builder
+# under -race), the packed-selection identity gate (byte-identical
+# schedules from the packed-priority heap engine and the winnowing
+# rescan at 1/4/8 workers including a faulted run, under -race; see
+# DESIGN.md §12), the chaos gate (a seeded fault plan firing builder
 # panics, arc corruptions, cache bitflips and stalls at an 8-worker
 # pool under -race, with every block required to come back
 # byte-identical to a fault-free run; see DESIGN.md §9), the streaming
@@ -53,6 +56,9 @@ go test -race -run '^TestEngineCacheDeterminism$' -count 3 ./internal/engine
 echo "== adaptive dispatch identity (workers=8, -race)"
 go test -race -run '^TestAdaptiveMatchesFixed$' ./internal/engine
 
+echo "== packed-selection identity (workers=8, -race)"
+go test -race -run '^TestPackedSelMatchesWinnow$' ./internal/engine
+
 echo "== chaos gate (workers=8, -race)"
 go test -race -run '^TestEngineChaosLadder$|^TestEngineChaosDeterminism$' ./internal/engine
 go run ./cmd/schedbench -chaos -bench grep -workers 8
@@ -89,5 +95,5 @@ go test -fuzz '^FuzzBuildSchedule$' -fuzztime 30s -run '^$' ./internal/engine
 echo "== engine bench smoke"
 go test -run '^$' -bench Engine -benchmem -benchtime 1x .
 
-echo "== dag/heur bench smoke"
-go test -run '^$' -bench . -benchmem -benchtime 1x ./internal/dag ./internal/heur
+echo "== dag/heur/sched bench smoke"
+go test -run '^$' -bench . -benchmem -benchtime 1x ./internal/dag ./internal/heur ./internal/sched
