@@ -5,8 +5,12 @@
 // parallel run — throughput (insts/sec, must not fall below
 // base·(1−tol)) and the p50/p99 per-block latencies (must not rise
 // above base·(1+tol), with a small absolute floor so sub-microsecond
-// baselines don't flap on scheduler jitter). A streaming section, when
-// both documents carry one, is gated on its throughput the same way.
+// baselines don't flap on scheduler jitter, and extra tail headroom
+// on p99 — see p99TailHeadroom). A streaming section, when
+// both documents carry one, is gated on its throughput the same way,
+// and a serve section on its goodput and p99 request latency (with a
+// milliseconds-scale absolute floor — loopback HTTP jitter dwarfs the
+// microsecond one).
 //
 // The tolerance is deliberately wide by default (50%): wall-clock
 // benchmarks on shared CI hardware are noisy, and the gate is meant to
@@ -27,9 +31,26 @@ import (
 )
 
 // latencyFloorMicros is the absolute slack added to the latency bound:
-// a baseline p99 of 0.3us doubling to 0.6us is timer noise, not a
-// regression worth failing CI over.
-const latencyFloorMicros = 0.5
+// on shared hardware a sub-microsecond baseline p99 routinely spikes
+// to a few microseconds under host load, which is scheduler noise,
+// not a regression worth failing CI over. The floor is sized so the
+// gate still catches what it exists for — a lost cache or serialized
+// pipeline blows p99 by orders of magnitude, not single microseconds.
+const latencyFloorMicros = 5.0
+
+// p99TailHeadroom widens the p99 band beyond the p50 one: a single
+// run's 99th percentile of per-block latency is a tail statistic, and
+// on shared hardware it routinely spreads 3× between identical runs
+// as host neighbors come and go. The tail gate therefore only fires
+// on the order-of-magnitude blow-up a real regression produces; the
+// stable p50 keeps the tight band.
+const p99TailHeadroom = 2.5
+
+// serveLatencyFloorMillis is the same idea for the -serve section:
+// whole-request latencies through a loopback HTTP daemon carry
+// milliseconds of scheduler and network-stack jitter, so a baseline
+// p99 gets that much absolute slack on top of the relative band.
+const serveLatencyFloorMillis = 25.0
 
 // diffConfig carries the -diff flag group.
 type diffConfig struct {
@@ -124,7 +145,7 @@ func compareEngineFiles(base, fresh *engineFile, tol float64, w io.Writer) (regr
 		if fr.Parallel.P50Micros > ba.Parallel.P50Micros*(1+tol)+latencyFloorMicros {
 			bad = append(bad, "p50")
 		}
-		if fr.Parallel.P99Micros > ba.Parallel.P99Micros*(1+tol)+latencyFloorMicros {
+		if fr.Parallel.P99Micros > ba.Parallel.P99Micros*(1+tol)*p99TailHeadroom+latencyFloorMicros {
 			bad = append(bad, "p99")
 		}
 		verdict := "ok"
@@ -167,6 +188,31 @@ func compareEngineFiles(base, fresh *engineFile, tol float64, w io.Writer) (regr
 			(fresh.Stream.Stats.InstsPerSec/base.Stream.Stats.InstsPerSec-1)*100,
 			"-", "-", verdict)
 	}
+	if base.Serve != nil && fresh.Serve != nil {
+		compared++
+		var bad []string
+		if fresh.Serve.OKPerSec < base.Serve.OKPerSec*(1-tol) {
+			bad = append(bad, "goodput")
+		}
+		if fresh.Serve.P99Millis > base.Serve.P99Millis*(1+tol)+serveLatencyFloorMillis {
+			bad = append(bad, "p99")
+		}
+		verdict := "ok"
+		if len(bad) > 0 {
+			regressions++
+			verdict = "REGRESSED"
+			for _, b := range bad {
+				verdict += " " + b
+			}
+		}
+		delta := 0.0
+		if base.Serve.OKPerSec > 0 {
+			delta = fresh.Serve.OKPerSec/base.Serve.OKPerSec - 1
+		}
+		fmt.Fprintf(w, "%-12s %14.0f %14.0f %+7.1f%% %10s %10.1f  %s\n",
+			"serve", base.Serve.OKPerSec, fresh.Serve.OKPerSec, delta*100,
+			"-", fresh.Serve.P99Millis, verdict)
+	}
 	if compared == 0 {
 		// No overlap means the gate silently checked nothing; surface
 		// that as a regression so a renamed benchmark can't dodge it.
@@ -199,7 +245,7 @@ func runDiffSelfTest(basePath string, tol float64) error {
 		return fmt.Errorf("gate missed an injected throughput collapse on %q", slow.Benchmarks[0].Name)
 	}
 	lat := cloneEngineFile(base)
-	lat.Benchmarks[0].Parallel.P99Micros = lat.Benchmarks[0].Parallel.P99Micros*(1+tol)*2 + 2*latencyFloorMicros
+	lat.Benchmarks[0].Parallel.P99Micros = lat.Benchmarks[0].Parallel.P99Micros*(1+tol)*p99TailHeadroom*2 + 2*latencyFloorMicros
 	if n := compareEngineFiles(base, lat, tol, io.Discard); n == 0 {
 		return fmt.Errorf("gate missed an injected p99 blow-up on %q", lat.Benchmarks[0].Name)
 	}

@@ -17,6 +17,9 @@
 //	           [-bench name] [-json BENCH_engine.json]
 //	schedbench -cachefile sched.cache [-warmexpect 0.99] [-workers N]
 //	           [-json BENCH_engine.json]
+//	schedbench -serve http://127.0.0.1:7077 [-serverate 50]
+//	           [-serveduration 3s] [-servetenants 3] [-servewarm 0.9]
+//	           [-servecheck] [-json BENCH_engine.json]
 //	schedbench -diff fresh.json [-json BENCH_engine.json]
 //	           [-tolerance 0.5]
 //	schedbench -diffselftest [-json BENCH_engine.json] [-tolerance 0.5]
@@ -65,6 +68,14 @@
 // schedules byte-identical to a cache-disabled reference. -warmexpect
 // turns the first pass into CI's cross-process persistence gate.
 //
+// -serve runs the service load benchmark (see serve.go): open-loop
+// arrival at a fixed rate against a running schedd daemon, a
+// round-robin multi-tenant request mix, p50/p99 latency and the shed
+// rate merged into the engine JSON. -servecheck proves every 200
+// response byte-identical to a local cache-disabled reference;
+// -servewarm gates the daemon's cache hit rate over the window (CI's
+// kill-proof warm-restart gate).
+//
 // -diff and -diffselftest are the perf-regression gate (see diff.go):
 // a fresh engine JSON is compared against the committed baseline with
 // a tolerance band, exiting 3 on regression; the self-test proves the
@@ -81,6 +92,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"daginsched/internal/block"
 	"daginsched/internal/engine"
@@ -143,14 +155,26 @@ func run() (code int) {
 		warmExp  = flag.Float64("warmexpect", 0, "fail unless -cachefile's first pass is served from the file with at least this hit rate (0 disables; CI's cross-process gate)")
 		insts    = flag.Float64("insts", 2e6, "instruction target for -stream (scientific notation welcome: -insts 100e6)")
 		depth    = flag.Int("depth", 0, "bounded queue depth in blocks for -stream (0 = engine default)")
+		serveURL = flag.String("serve", "", "schedd base URL: fire the open-loop service load benchmark at it (e.g. http://127.0.0.1:7077)")
+		srvRate  = flag.Float64("serverate", 50, "offered arrival rate for -serve, requests/sec")
+		srvDur   = flag.Duration("serveduration", 3*time.Second, "load window for -serve")
+		srvTen   = flag.Int("servetenants", 3, "distinct X-Tenant identities for -serve")
+		srvWarm  = flag.Float64("servewarm", 0, "fail unless the daemon's cache hit rate over the -serve window is at least this (0 disables; CI's warm-restart gate)")
+		srvCheck = flag.Bool("servecheck", false, "verify every -serve 200 response byte-identical to a local cache-disabled reference engine")
 		diffPath = flag.String("diff", "", "fresh engine JSON to gate against the -json baseline; exit 3 on perf regression")
 		tol      = flag.Float64("tolerance", 0.5, "relative tolerance band for -diff and -diffselftest, in [0, 1)")
 		selftest = flag.Bool("diffselftest", false, "verify the -diff gate catches injected regressions against the -json baseline")
 	)
 	flag.Parse()
 	if !*t3 && !*t4 && !*t5 && !*fig1 && !*quality && !*optim && !*winners && !*scaling && !*ablate &&
-		!*par && !*chaos && !*stream && *cacheFn == "" && *diffPath == "" && !*selftest {
+		!*par && !*chaos && !*stream && *cacheFn == "" && *serveURL == "" && *diffPath == "" && !*selftest {
 		*all = true
+	}
+	if *srvWarm < 0 || *srvWarm > 1 {
+		return fail(exitUsage, "-servewarm %v outside [0, 1]", *srvWarm)
+	}
+	if *srvWarm > 0 && *serveURL == "" {
+		return fail(exitUsage, "-servewarm needs -serve")
 	}
 	if *warmExp < 0 || *warmExp > 1 {
 		return fail(exitUsage, "-warmexpect %v outside [0, 1]", *warmExp)
@@ -294,6 +318,15 @@ func run() (code int) {
 			return fail(exitRuntime, "warm start: %v", err)
 		}
 	}
+	if *serveURL != "" {
+		cfg := serveConfig{
+			url: *serveURL, rate: *srvRate, duration: *srvDur,
+			tenants: *srvTen, warmExpect: *srvWarm, check: *srvCheck,
+		}
+		if err := runServe(sets, m, cfg, *jsonOut); err != nil {
+			return fail(exitRuntime, "serve: %v", err)
+		}
+	}
 	if *chaos {
 		if err := runChaos(sets, m, chaosConfig{seed: *seed, rate: *rate, workers: *workers}); err != nil {
 			return fail(exitRuntime, "chaos gate: %v", err)
@@ -351,6 +384,9 @@ type engineFile struct {
 	// PackedSel is the -packedsel race's section, rewritten by -parallel
 	// runs with -packedsel on and preserved by everything else.
 	PackedSel *packedselReport `json:"packedsel,omitempty"`
+	// Serve is the -serve load run's section, written by
+	// mergeServeReport and likewise preserved.
+	Serve *serveReport `json:"serve,omitempty"`
 }
 
 // packedselReport records the packed-priority selection race: the same
@@ -501,6 +537,7 @@ func runParallel(sets []tables.BenchmarkSet, m *machine.Model, modelName string,
 	if old, err := readEngineFile(jsonPath); err == nil {
 		doc.Stream = old.Stream
 		doc.Warmstart = old.Warmstart
+		doc.Serve = old.Serve
 		if doc.PackedSel == nil {
 			doc.PackedSel = old.PackedSel
 		}

@@ -4,11 +4,15 @@
 package daginsched_test
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -357,6 +361,116 @@ func TestSmokeSchedbenchStreamAndDiff(t *testing.T) {
 		t.Errorf("bad tolerance exit code %d, want 2\n%s", code, out2)
 	}
 	requireDiagnostic(t, "schedbench", out2)
+}
+
+// TestSmokeSchedd boots the scheduling daemon, drives its endpoints
+// over real HTTP, and pins the exit-code discipline: 2 for flag
+// misuse, 3 for configuration the engine rejects, 0 for SIGTERM drain.
+func TestSmokeSchedd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short mode")
+	}
+	schedd := buildTool(t, "schedd")
+
+	out, code := runToolErr(t, "", schedd, "-model", "marsrover")
+	if code != 2 {
+		t.Errorf("unknown model exit code %d, want 2\n%s", code, out)
+	}
+	requireDiagnostic(t, "schedd", out)
+	out, code = runToolErr(t, "", schedd, "stray-argument")
+	if code != 2 {
+		t.Errorf("stray argument exit code %d, want 2\n%s", code, out)
+	}
+	requireDiagnostic(t, "schedd", out)
+	// flag's own parse failure also exits 2 (it prints usage itself).
+	if out, code = runToolErr(t, "", schedd, "-nosuchflag"); code != 2 {
+		t.Errorf("unknown flag exit code %d, want 2\n%s", code, out)
+	}
+	// A cache file in a directory that does not exist is the operator's
+	// configuration to fix: distinct code 3.
+	out, code = runToolErr(t, "", schedd,
+		"-cachefile", filepath.Join(t.TempDir(), "no", "such", "dir", "sched.cache"))
+	if code != 3 {
+		t.Errorf("unopenable cachefile exit code %d, want 3\n%s", code, out)
+	}
+	requireDiagnostic(t, "schedd", out)
+
+	// Live daemon on an ephemeral port; the listen line carries the
+	// resolved address.
+	cmd := exec.Command(schedd, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("schedd produced no listen line: %v", sc.Err())
+	}
+	addr := strings.TrimPrefix(sc.Text(), "schedd: listening on ")
+	if addr == sc.Text() {
+		t.Fatalf("unexpected first line: %q", sc.Text())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/schedule", "text/plain", strings.NewReader(smokeAsm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/schedule: HTTP %d\n%s", resp.StatusCode, body)
+	}
+	var sched struct {
+		Blocks  int `json:"blocks"`
+		Results []struct {
+			Name  string  `json:"name"`
+			Rung  string  `json:"rung"`
+			Order []int32 `json:"order"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &sched); err != nil {
+		t.Fatalf("schedule response malformed: %v\n%s", err, body)
+	}
+	if sched.Blocks == 0 || len(sched.Results) == 0 || len(sched.Results[0].Order) == 0 ||
+		sched.Results[0].Name != "top" {
+		t.Errorf("schedule response contents wrong: %+v", sched)
+	}
+
+	resp, err = http.Post(base+"/v1/schedule", "text/plain", strings.NewReader("bogus ??? line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("malformed asm: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	for path, want := range map[string]int{"/healthz": 200, "/readyz": 200, "/stats": 200} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s: HTTP %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	// SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("SIGTERM drain: want exit 0, got %v", err)
+	}
 }
 
 func TestSmokeSchedbenchCachefile(t *testing.T) {

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"daginsched/internal/block"
+	"daginsched/internal/machine"
+)
+
+// TestCloseDuringRunStreamBusy pins the lifecycle guard: a Close
+// attempted while RunStream is still draining a source must be
+// refused with a *BusyError (errors.Is ErrBusy) instead of unmapping
+// the persistent tier under the stream's active readers. Once the
+// stream returns, Close succeeds, and a second Close stays a no-op.
+func TestCloseDuringRunStreamBusy(t *testing.T) {
+	m := machine.Super2()
+	blocks := testBlocks(t, 8)
+	e, err := New(Config{Workers: 2, Model: m, CachePath: diskPath(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := make(chan *block.Block)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.RunStream(context.Background(), src, nil)
+		done <- err
+	}()
+	go func() {
+		src <- blocks[0] // RunStream has definitely entered once this lands
+		close(started)
+		<-release
+		for _, b := range blocks[1:] {
+			src <- b
+		}
+		close(src)
+	}()
+
+	<-started
+	err = e.Close()
+	if err == nil {
+		t.Fatal("Close during an active RunStream succeeded; want ErrBusy")
+	}
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("Close during RunStream: %v, want errors.Is ErrBusy", err)
+	}
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("Close during RunStream returned %T, want *BusyError", err)
+	}
+	if busy.Active < 1 {
+		t.Fatalf("BusyError.Active = %d, want >= 1", busy.Active)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("RunStream: %v", err)
+	}
+
+	// The refused Close must not have touched the disk tier: the same
+	// engine still serves runs against it.
+	if _, err := e.Run(blocks); err != nil {
+		t.Fatalf("Run after refused Close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close after drain: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCloseDuringRunBusy covers the batch entry point with the same
+// guard: a Close racing Run must be refused, not crash a worker that
+// is mid-probe in the mmap'd tier.
+func TestCloseDuringRunBusy(t *testing.T) {
+	m := machine.Super2()
+	blocks := testBlocks(t, 64)
+	e, err := New(Config{Workers: 2, Model: m, CachePath: diskPath(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(entered)
+		_, err := e.Run(blocks)
+		done <- err
+	}()
+	<-entered
+
+	// The goroutine may not have reached beginRun yet, and the run may
+	// finish at any moment — so a refusal proves the guard, and a nil
+	// Close is only legal once the run has retired. Either outcome of
+	// the race is fine; only a wrong error fails.
+	for i := 0; i < 1_000_000; i++ {
+		err := e.Close()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrBusy) {
+			t.Fatalf("Close during Run: %v, want errors.Is ErrBusy", err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("final Close: %v", err)
+	}
+}

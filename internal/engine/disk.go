@@ -151,12 +151,18 @@ func (t *diskTier) close() error {
 
 // Close releases the engine's persistent cache tier: the write-behind
 // flusher drains its queue, the mapping is unmapped and the file
-// handle closed (marking a clean shutdown for crash recovery). It
-// must not be called concurrently with Run/RunStream. An engine
-// without Config.CachePath has nothing to release and Close is a
-// no-op. The engine itself remains usable — later runs just lose the
-// disk tier.
+// handle closed (marking a clean shutdown for crash recovery). A
+// Close attempted while Run/RunStream is still executing is refused
+// with a *BusyError (errors.Is(err, ErrBusy)) rather than unmapping
+// the file under an active reader. An engine without Config.CachePath
+// has nothing to release and Close is a no-op. The engine itself
+// remains usable — later runs just lose the disk tier.
 func (e *Engine) Close() error {
+	e.lcMu.Lock()
+	defer e.lcMu.Unlock()
+	if e.active > 0 {
+		return &BusyError{Active: e.active}
+	}
 	if e.disk == nil {
 		return nil
 	}

@@ -397,6 +397,27 @@ type Engine struct {
 	// inj is the compiled fault injector; nil unless Config.FaultPlan
 	// injects something.
 	inj *fault.Injector
+
+	// Lifecycle accounting: every Run/RunStream entry point increments
+	// active under lcMu and decrements it on return, and Close refuses
+	// (with a BusyError) while it is nonzero — so the persistent tier
+	// can never be unmapped under a worker mid-probe.
+	lcMu   sync.Mutex //sched:lock-rank 5
+	active int        //sched:guarded-by lcMu
+}
+
+// beginRun records one entering Run/RunStream invocation.
+func (e *Engine) beginRun() {
+	e.lcMu.Lock()
+	e.active++
+	e.lcMu.Unlock()
+}
+
+// endRun retires one Run/RunStream invocation.
+func (e *Engine) endRun() {
+	e.lcMu.Lock()
+	e.active--
+	e.lcMu.Unlock()
 }
 
 // New validates cfg and builds the worker pool. Every rejected Config
@@ -491,6 +512,8 @@ func (e *Engine) RunIntoCtx(ctx context.Context, res *BatchResult, blocks []*blo
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	e.beginRun()
+	defer e.endRun()
 	nb := len(blocks)
 	res.Cycles = buf.Int32(res.Cycles, nb)
 	res.Arcs = buf.Int32(res.Arcs, nb)

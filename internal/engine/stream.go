@@ -615,6 +615,8 @@ func (e *Engine) RunStream(ctx context.Context, src <-chan *block.Block, sink fu
 	if sink == nil {
 		sink = func(BlockOutcome) {}
 	}
+	e.beginRun()
+	defer e.endRun()
 	depth := e.cfg.StreamDepth
 	chunk := e.chunk
 	if chunk <= 0 {

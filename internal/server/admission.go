@@ -1,0 +1,122 @@
+// Admission control: the token buckets and tenant registry behind the
+// daemon's 429 load-shedding. Both are deliberately simple — a
+// continuous-fill token bucket per scope (one global, one per tenant)
+// and a bounded tenant registry that degrades to a shared overflow
+// bucket instead of growing without bound under a tenant-name flood.
+//
+// The bucket math (DESIGN.md §13): a bucket with fill rate r tokens/s
+// and capacity (burst) c holds tokens(t) = min(c, tokens(t₀) +
+// r·(t−t₀)). A request is admitted iff tokens ≥ 1, spending one; a
+// refusal computes the exact refill horizon (1 − tokens)/r and reports
+// it so the handler can emit a truthful Retry-After.
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// bucket is one token bucket. rate and burst are immutable after
+// construction; the fill state is guarded by mu.
+type bucket struct {
+	mu     sync.Mutex //sched:lock-rank 3
+	tokens float64    //sched:guarded-by mu
+	last   time.Time  //sched:guarded-by mu
+	rate   float64    // tokens per second; <= 0 means unlimited
+	burst  float64    // capacity
+}
+
+// newBucket returns a full bucket. rate <= 0 disables limiting; a
+// non-positive burst with a positive rate gets a one-token capacity so
+// the bucket still admits.
+func newBucket(rate, burst float64) *bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{tokens: burst, rate: rate, burst: burst}
+}
+
+// take attempts to spend one token at time now. It reports success, or
+// on refusal how long until a token will have accumulated.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = min(b.burst, b.tokens+dt*b.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// tenant is one quota scope: its private bucket plus served/shed
+// tallies for /stats.
+type tenant struct {
+	name   string
+	tb     *bucket
+	served atomic.Int64
+	shed   atomic.Int64
+}
+
+// tenantSet is the bounded tenant registry. Unknown tenants are
+// admitted lazily up to max distinct names; past that every new name
+// shares one overflow tenant (and its bucket), so a hostile client
+// cycling tenant names can neither grow the map unboundedly nor mint
+// itself fresh quota.
+type tenantSet struct {
+	mu       sync.Mutex         //sched:lock-rank 2
+	m        map[string]*tenant //sched:guarded-by mu
+	overflow *tenant
+	rate     float64 // per-tenant fill rate
+	burst    float64 // per-tenant burst
+	max      int     // distinct-tenant cap
+}
+
+func newTenantSet(rate, burst float64, max int) *tenantSet {
+	if max < 1 {
+		max = 1
+	}
+	return &tenantSet{
+		m:        make(map[string]*tenant),
+		overflow: &tenant{name: "overflow", tb: newBucket(rate, burst)},
+		rate:     rate,
+		burst:    burst,
+		max:      max,
+	}
+}
+
+// get resolves name to its tenant, creating it while the registry has
+// room and falling back to the shared overflow tenant once full.
+func (s *tenantSet) get(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.m[name]; ok {
+		return t
+	}
+	if len(s.m) >= s.max {
+		return s.overflow
+	}
+	t := &tenant{name: name, tb: newBucket(s.rate, s.burst)}
+	s.m[name] = t
+	return t
+}
+
+// snapshot copies every tenant's tallies (overflow included once it
+// has seen traffic) into dst for /stats.
+func (s *tenantSet) snapshot(dst map[string]TenantCounts) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, t := range s.m {
+		dst[name] = TenantCounts{Served: t.served.Load(), Shed: t.shed.Load()}
+	}
+	if v, h := s.overflow.served.Load(), s.overflow.shed.Load(); v != 0 || h != 0 {
+		dst[s.overflow.name] = TenantCounts{Served: v, Shed: h}
+	}
+}

@@ -1,0 +1,549 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"daginsched/internal/engine"
+	"daginsched/internal/fault"
+	"daginsched/internal/machine"
+)
+
+// corpusAsm renders n labeled basic blocks of valid assembly, varied
+// by index so the corpus has distinct block fingerprints (with repeats
+// every 7·13 blocks, exercising the schedule cache).
+func corpusAsm(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "b%d:\n", i)
+		fmt.Fprintf(&sb, "\tld [%%fp-%d], %%o0\n", 4+(i%7)*4)
+		sb.WriteString("\tadd %o0, 1, %o1\n")
+		fmt.Fprintf(&sb, "\tmov %d, %%l7\n", i%13)
+		sb.WriteString("\tcmp %o1, 0\n")
+		fmt.Fprintf(&sb, "\tbne b%d\n", i) // the CTI ends the block
+	}
+	return sb.String()
+}
+
+// newTestServer builds a server over a fresh engine. Mutate the
+// configs through the hooks before construction.
+func newTestServer(t *testing.T, ecfg func(*engine.Config), scfg func(*Config)) *Server {
+	t.Helper()
+	ec := engine.Config{Workers: 2, Model: machine.Super2(), KeepOrders: true, Cache: true}
+	if ecfg != nil {
+		ecfg(&ec)
+	}
+	eng, err := engine.New(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Config{Engine: eng}
+	if scfg != nil {
+		scfg(&sc)
+	}
+	s, err := New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// post runs one request through the handler tree.
+func post(s *Server, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func get(s *Server, path string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+func decodeSchedule(t *testing.T, w *httptest.ResponseRecorder) scheduleResponse {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp scheduleResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding response: %v\n%s", err, w.Body.String())
+	}
+	return resp
+}
+
+// referenceOrders schedules body on a fresh cache-disabled engine —
+// the independent witness server responses are compared against.
+func referenceOrders(t *testing.T, body string) [][]int32 {
+	t.Helper()
+	eng, err := engine.New(engine.Config{Workers: 1, Model: machine.Super2(), KeepOrders: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := scanBlocks(context.Background(), []byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Orders
+}
+
+func requireOrders(t *testing.T, got []blockResult, want [][]int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i].Order) != len(want[i]) {
+			t.Fatalf("block %d: order length %d, want %d", i, len(got[i].Order), len(want[i]))
+		}
+		for k := range want[i] {
+			if got[i].Order[k] != want[i][k] {
+				t.Fatalf("block %d position %d: node %d, want %d", i, k, got[i].Order[k], want[i][k])
+			}
+		}
+	}
+}
+
+// TestScheduleBatch pins the batch endpoint: a valid unit comes back
+// 200 with per-block schedules byte-identical to a cache-disabled
+// reference engine, all at the primary rung.
+func TestScheduleBatch(t *testing.T) {
+	s := newTestServer(t, nil, nil)
+	body := corpusAsm(40)
+	resp := decodeSchedule(t, post(s, "/v1/schedule", body, nil))
+	if resp.Blocks != 40 {
+		t.Fatalf("blocks = %d, want 40", resp.Blocks)
+	}
+	requireOrders(t, resp.Results, referenceOrders(t, body))
+	for i, r := range resp.Results {
+		if r.Rung != "primary" {
+			t.Fatalf("block %d served at rung %q", i, r.Rung)
+		}
+	}
+	snap := s.Stats()
+	if snap.Served != 1 || snap.Blocks != 40 {
+		t.Fatalf("stats served=%d blocks=%d, want 1/40", snap.Served, snap.Blocks)
+	}
+}
+
+// TestMalformedAsm pins the 4xx taxonomy: a malformed body is a 400
+// with the scanner's line number, and the daemon is not poisoned — the
+// next valid request on the same server succeeds.
+func TestMalformedAsm(t *testing.T) {
+	s := newTestServer(t, nil, nil)
+	w := post(s, "/v1/schedule", "b0:\n\tld [%fp-4], %o0\n\tthis is not assembly\n", nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", w.Code, w.Body.String())
+	}
+	var eb errorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Line != 3 {
+		t.Fatalf("error line %d, want 3 (%s)", eb.Line, eb.Error)
+	}
+	if w := post(s, "/v1/schedule", corpusAsm(3), nil); w.Code != http.StatusOK {
+		t.Fatalf("valid request after malformed one: %d", w.Code)
+	}
+	if n := s.Stats().BadRequests; n != 1 {
+		t.Fatalf("bad_requests = %d, want 1", n)
+	}
+	if w := post(s, "/v1/schedule", "", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty body: %d, want 400", w.Code)
+	}
+}
+
+// TestQueueShed saturates the engine queue (the semaphore is held by
+// the test, standing in for a long run) and requires the next request
+// to shed 429 with a Retry-After instead of piling up.
+func TestQueueShed(t *testing.T) {
+	s := newTestServer(t, nil, func(c *Config) { c.MaxQueue = 1 })
+	s.sem <- struct{}{} // occupy the engine
+	s.queued.Add(1)
+	defer func() { <-s.sem; s.queued.Add(-1) }()
+
+	w := post(s, "/v1/schedule", corpusAsm(2), nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if n := s.Stats().Shed.Queue; n != 1 {
+		t.Fatalf("shed.queue = %d, want 1", n)
+	}
+}
+
+// TestQueuedDeadline holds the engine and sends a short-deadline
+// request: it must come back 504 (expired while queued), never hang.
+func TestQueuedDeadline(t *testing.T) {
+	s := newTestServer(t, nil, nil)
+	s.sem <- struct{}{}
+	s.queued.Add(1)
+	defer func() { <-s.sem; s.queued.Add(-1) }()
+
+	w := post(s, "/v1/schedule?deadline_ms=5", corpusAsm(2), nil)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", w.Code, w.Body.String())
+	}
+	if n := s.Stats().DeadlineHits; n != 1 {
+		t.Fatalf("deadline_hits = %d, want 1", n)
+	}
+}
+
+// TestRateShed pins the global token bucket on a fake clock: burst
+// admits, the next request sheds with a truthful Retry-After, and
+// advancing the clock past the refill horizon admits again.
+func TestRateShed(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := newTestServer(t, nil, func(c *Config) {
+		c.Rate, c.Burst = 1, 2
+		c.now = func() time.Time { return now }
+	})
+	body := corpusAsm(2)
+	for i := 0; i < 2; i++ {
+		if w := post(s, "/v1/schedule", body, nil); w.Code != http.StatusOK {
+			t.Fatalf("burst request %d: %d", i, w.Code)
+		}
+	}
+	w := post(s, "/v1/schedule", body, nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After %q, want \"1\"", ra)
+	}
+	now = now.Add(1100 * time.Millisecond)
+	if w := post(s, "/v1/schedule", body, nil); w.Code != http.StatusOK {
+		t.Fatalf("after refill: %d", w.Code)
+	}
+	if n := s.Stats().Shed.Rate; n != 1 {
+		t.Fatalf("shed.rate = %d, want 1", n)
+	}
+}
+
+// TestTenantShed pins per-tenant quotas: tenant A exhausting its
+// bucket does not touch tenant B's.
+func TestTenantShed(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := newTestServer(t, nil, func(c *Config) {
+		c.TenantRate, c.TenantBurst = 1, 1
+		c.now = func() time.Time { return now }
+	})
+	body := corpusAsm(2)
+	if w := post(s, "/v1/schedule", body, map[string]string{"X-Tenant": "a"}); w.Code != http.StatusOK {
+		t.Fatalf("tenant a first: %d", w.Code)
+	}
+	if w := post(s, "/v1/schedule", body, map[string]string{"X-Tenant": "a"}); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("tenant a second: %d, want 429", w.Code)
+	}
+	if w := post(s, "/v1/schedule", body, map[string]string{"X-Tenant": "b"}); w.Code != http.StatusOK {
+		t.Fatalf("tenant b: %d (a's exhaustion leaked)", w.Code)
+	}
+	snap := s.Stats()
+	if snap.Shed.Tenant != 1 {
+		t.Fatalf("shed.tenant = %d, want 1", snap.Shed.Tenant)
+	}
+	if tc := snap.Tenants["a"]; tc.Served != 1 || tc.Shed != 1 {
+		t.Fatalf("tenant a counts = %+v, want served 1 shed 1", tc)
+	}
+}
+
+// TestInflightBytesShed pins the byte budget: a body whose declared
+// size cannot fit the in-flight cap sheds 429 before being read.
+func TestInflightBytesShed(t *testing.T) {
+	s := newTestServer(t, nil, func(c *Config) { c.MaxInflightBytes = 64 })
+	body := corpusAsm(10) // well over 64 bytes
+	w := post(s, "/v1/schedule", body, nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if n := s.Stats().Shed.Bytes; n != 1 {
+		t.Fatalf("shed.bytes = %d, want 1", n)
+	}
+}
+
+// TestBodyTooLarge pins the 413: a body past MaxBody is refused.
+func TestBodyTooLarge(t *testing.T) {
+	s := newTestServer(t, nil, func(c *Config) { c.MaxBody = 128 })
+	w := post(s, "/v1/schedule", corpusAsm(20), nil)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestDeadlineDegradesToIdentity pins the deadline→ladder mapping: a
+// fault plan stalling every block against a tiny BlockTimeout must
+// still answer 200 — every block served, degraded down the ladder —
+// instead of hanging or failing the request.
+func TestDeadlineDegradesToIdentity(t *testing.T) {
+	s := newTestServer(t, func(c *engine.Config) {
+		c.BlockTimeout = time.Nanosecond
+		c.FaultPlan = &fault.Plan{Seed: 7, SlowBlock: 1, SlowDelay: time.Millisecond}
+	}, nil)
+	resp := decodeSchedule(t, post(s, "/v1/schedule", corpusAsm(6), nil))
+	degraded := 0
+	for _, r := range resp.Results {
+		if r.Rung != "primary" {
+			degraded++
+		}
+		if len(r.Order) == 0 {
+			t.Fatalf("degraded block %s served no schedule", r.Name)
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no block degraded; the stall plan injected nothing")
+	}
+	if s.Stats().Engine.DegradedBlocks == 0 {
+		t.Fatal("stats did not count degraded blocks")
+	}
+}
+
+// TestPanicIsolation pins the recover boundary: a panicking handler
+// answers a one-line 500 and the daemon keeps serving.
+func TestPanicIsolation(t *testing.T) {
+	s := newTestServer(t, nil, nil)
+	h := s.guard(func(http.ResponseWriter, *http.Request) { panic("boom") })
+	w := httptest.NewRecorder()
+	h(w, httptest.NewRequest(http.MethodGet, "/v1/schedule", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "boom") {
+		t.Fatalf("500 body lost the diagnosis: %s", w.Body.String())
+	}
+	if n := s.Stats().Panics; n != 1 {
+		t.Fatalf("panics = %d, want 1", n)
+	}
+	if w := post(s, "/v1/schedule", corpusAsm(2), nil); w.Code != http.StatusOK {
+		t.Fatalf("request after panic: %d", w.Code)
+	}
+}
+
+// TestDrain pins the shutdown protocol: readyz flips to 503 (healthz
+// stays 200), new requests shed as drain, the report carries the
+// tallies, and the engine is closed (flushed) exactly once.
+func TestDrain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.cache")
+	s := newTestServer(t, func(c *engine.Config) { c.CachePath = path }, nil)
+	if w := post(s, "/v1/schedule", corpusAsm(5), nil); w.Code != http.StatusOK {
+		t.Fatalf("pre-drain request: %d", w.Code)
+	}
+	if w := get(s, "/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", w.Code)
+	}
+
+	rep := s.Drain(context.Background())
+	if rep.Served != 1 || rep.Forced || rep.CloseErr != nil {
+		t.Fatalf("drain report %+v", rep)
+	}
+	if w := get(s, "/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain: %d, want 503", w.Code)
+	}
+	if w := get(s, "/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz after drain: %d, want 200", w.Code)
+	}
+	w := post(s, "/v1/schedule", corpusAsm(2), nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: %d, want 503", w.Code)
+	}
+	rep2 := s.Drain(context.Background())
+	if rep2.CloseErr != nil {
+		t.Fatalf("second drain: %v", rep2.CloseErr)
+	}
+	if rep2.Shed != 1 {
+		t.Fatalf("second drain shed = %d, want 1", rep2.Shed)
+	}
+}
+
+// TestWarmRestart is the crash-recovery story in miniature: a first
+// server populates a cache file and drains (flushing it); a second
+// server over the same file must serve byte-identical schedules with
+// disk hits — the warm restart the daemon's CachePath buys.
+func TestWarmRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.cache")
+	body := corpusAsm(40)
+	want := referenceOrders(t, body)
+
+	s1 := newTestServer(t, func(c *engine.Config) { c.CachePath = path }, nil)
+	resp1 := decodeSchedule(t, post(s1, "/v1/schedule", body, nil))
+	requireOrders(t, resp1.Results, want)
+	if rep := s1.Drain(context.Background()); rep.CloseErr != nil {
+		t.Fatalf("drain: %v", rep.CloseErr)
+	}
+
+	s2 := newTestServer(t, func(c *engine.Config) { c.CachePath = path }, nil)
+	resp2 := decodeSchedule(t, post(s2, "/v1/schedule", body, nil))
+	requireOrders(t, resp2.Results, want)
+	if resp2.DiskHits == 0 {
+		t.Fatal("warm server served no disk hits; the restart was cold")
+	}
+	snap := s2.Stats()
+	if snap.Engine.DiskHits != resp2.DiskHits {
+		t.Fatalf("stats disk_hits %d != response %d", snap.Engine.DiskHits, resp2.DiskHits)
+	}
+	if rep := s2.Drain(context.Background()); rep.CloseErr != nil {
+		t.Fatalf("second drain: %v", rep.CloseErr)
+	}
+}
+
+// TestStreamMatchesBatch pins the streaming endpoint: NDJSON outcomes
+// in arrival order, schedules byte-identical to the batch endpoint's,
+// a done trailer with the stream's tallies.
+func TestStreamMatchesBatch(t *testing.T) {
+	s := newTestServer(t, nil, nil)
+	body := corpusAsm(30)
+	want := referenceOrders(t, body)
+
+	w := post(s, "/v1/stream", body, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if len(lines) != 31 { // 30 records + trailer
+		t.Fatalf("%d NDJSON lines, want 31", len(lines))
+	}
+	for i, line := range lines[:30] {
+		var rec streamRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.Seq != int64(i) {
+			t.Fatalf("line %d: seq %d — outcomes must arrive in order", i, rec.Seq)
+		}
+		if rec.Name != fmt.Sprintf("b%d", i) {
+			t.Fatalf("line %d: name %q", i, rec.Name)
+		}
+		if len(rec.Order) != len(want[i]) {
+			t.Fatalf("line %d: order length %d, want %d", i, len(rec.Order), len(want[i]))
+		}
+		for k := range want[i] {
+			if rec.Order[k] != want[i][k] {
+				t.Fatalf("block %d position %d: node %d, want %d", i, k, rec.Order[k], want[i][k])
+			}
+		}
+	}
+	var tr streamTrailer
+	if err := json.Unmarshal([]byte(lines[30]), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done || tr.Blocks != 30 {
+		t.Fatalf("trailer %+v, want done with 30 blocks", tr)
+	}
+}
+
+// TestStreamMidstreamMalformed pins the in-band error path: a body
+// that goes malformed after valid blocks streams those blocks, then
+// terminates with an error trailer — and the daemon serves the next
+// request cleanly.
+func TestStreamMidstreamMalformed(t *testing.T) {
+	s := newTestServer(t, nil, nil)
+	body := corpusAsm(3) + "bX:\n\tgenuinely not assembly here\n"
+	w := post(s, "/v1/stream", body, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d (error arrived before any block?)", w.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	var tr streamTrailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Done || tr.Error == "" {
+		t.Fatalf("trailer %+v, want an in-band error", tr)
+	}
+	if tr.Line == 0 {
+		t.Fatalf("trailer lost the parse line: %+v", tr)
+	}
+	if w := post(s, "/v1/stream", corpusAsm(2), nil); w.Code != http.StatusOK {
+		t.Fatalf("stream after malformed stream: %d", w.Code)
+	}
+	// A body malformed before the first block boundary is still a
+	// clean 400: the status line has not been committed yet.
+	if w := post(s, "/v1/stream", "\tnot even close\n", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("immediately-malformed stream: %d, want 400", w.Code)
+	}
+}
+
+// TestStatsEndpoint pins that /stats is live JSON carrying the
+// hardening counters the ops story depends on.
+func TestStatsEndpoint(t *testing.T) {
+	s := newTestServer(t, nil, nil)
+	if w := post(s, "/v1/schedule", corpusAsm(4), nil); w.Code != http.StatusOK {
+		t.Fatalf("request: %d", w.Code)
+	}
+	w := get(s, "/stats")
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats: %d", w.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Served != 1 || snap.Blocks != 4 {
+		t.Fatalf("snapshot served=%d blocks=%d", snap.Served, snap.Blocks)
+	}
+	if snap.Rungs["primary"] != 4 {
+		t.Fatalf("rung histogram %v, want 4 primary", snap.Rungs)
+	}
+	if snap.MaxQueue == 0 || snap.MaxInflightBytes == 0 {
+		t.Fatal("snapshot lost its limits")
+	}
+}
+
+// TestBucketMath pins the token bucket against hand-computed refills.
+func TestBucketMath(t *testing.T) {
+	b := newBucket(2, 4) // 2 tokens/s, burst 4
+	now := time.Unix(0, 0)
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.take(now); !ok {
+			t.Fatalf("burst take %d refused", i)
+		}
+	}
+	ok, retry := b.take(now)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry != 500*time.Millisecond {
+		t.Fatalf("retry = %v, want 500ms (1 token at 2/s)", retry)
+	}
+	if ok, _ := b.take(now.Add(time.Second)); !ok {
+		t.Fatal("refilled bucket refused")
+	}
+	var unlimited *bucket
+	if ok, _ := unlimited.take(now); !ok {
+		t.Fatal("nil bucket must admit")
+	}
+}
+
+// TestTenantOverflow pins the bounded registry: past MaxTenants every
+// new name shares the overflow tenant instead of growing the map.
+func TestTenantOverflow(t *testing.T) {
+	ts := newTenantSet(1, 1, 2)
+	a, b := ts.get("a"), ts.get("b")
+	c, d := ts.get("c"), ts.get("d")
+	if a == b || a.name != "a" {
+		t.Fatal("distinct tenants collapsed early")
+	}
+	if c != d || c.name != "overflow" {
+		t.Fatal("overflow tenants must share one quota")
+	}
+	if got := ts.get("a"); got != a {
+		t.Fatal("existing tenant lost its identity")
+	}
+}

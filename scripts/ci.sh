@@ -27,10 +27,16 @@
 # byte-identical to a cache-disabled reference — and a corrupt-file
 # smoke that overwrites the file with garbage and requires the next
 # run to recover by rebuilding it; see DESIGN.md §11),
-# the perf-regression gate (a fresh -parallel + -stream measurement
-# diffed against the committed BENCH_engine.json inside a tolerance
-# band, with a self-test first proving the gate catches injected
-# regressions), a short native-fuzz smoke over the
+# the service gates (a schedd daemon under schedbench -serve load:
+# every response proven byte-identical to a local cache-disabled
+# reference, then kill -9 with requests in flight, a restart on the
+# same cache file that must serve warm — hit rate ≥ 0.9 straight from
+# the persistent tier — and still byte-identical, and a SIGTERM that
+# must drain and exit 0; see DESIGN.md §13),
+# the perf-regression gate (a fresh -parallel + -stream + -serve
+# measurement diffed against the committed BENCH_engine.json inside a
+# tolerance band, with a self-test first proving the gate catches
+# injected regressions), a short native-fuzz smoke over the
 # build→schedule→gate pipeline, and one-iteration benchmark smoke runs
 # over the engine, DAG-builder and heuristic benchmarks that check the
 # zero-allocation steady state.
@@ -73,7 +79,7 @@ go test -race ./internal/diskcache
 go test -race -run '^TestDisk' ./internal/engine
 CACHE_FILE="$(mktemp -u).schedcache"
 CACHE_JSON="$(mktemp)"
-trap 'rm -f "${CACHE_FILE:-}" "${CACHE_JSON:-}" "${FRESH_JSON:-}"' EXIT
+trap 'rm -f "${CACHE_FILE:-}" "${CACHE_JSON:-}" "${FRESH_JSON:-}" "${SCHEDD_BIN:-}" "${SBENCH_BIN:-}" "${SERVE_CACHE:-}" "${SCHEDD_LOG:-}"; [ -n "${SCHEDD_PID:-}" ] && kill -9 "$SCHEDD_PID" 2> /dev/null || true' EXIT
 # Process 1 populates the file cold; process 2 must warm-start from it.
 go run ./cmd/schedbench -cachefile "$CACHE_FILE" -workers 8 -json "$CACHE_JSON" > /dev/null
 go run ./cmd/schedbench -cachefile "$CACHE_FILE" -workers 8 -warmexpect 0.99 -json "$CACHE_JSON" > /dev/null
@@ -82,9 +88,56 @@ dd if=/dev/urandom of="$CACHE_FILE" bs=4096 count=4 conv=notrunc 2> /dev/null
 go run ./cmd/schedbench -cachefile "$CACHE_FILE" -workers 8 -json "$CACHE_JSON" > /dev/null
 rm -f "$CACHE_FILE" "$CACHE_JSON"
 
+echo "== service gates (schedd: identity, kill -9 warm restart, drain)"
+FRESH_JSON="$(mktemp)"
+SCHEDD_BIN="$(mktemp -u)"
+SBENCH_BIN="$(mktemp -u)"
+SERVE_CACHE="$(mktemp -u).schedcache"
+SCHEDD_LOG="$(mktemp)"
+go build -o "$SCHEDD_BIN" ./cmd/schedd
+go build -o "$SBENCH_BIN" ./cmd/schedbench
+# schedd_url: wait for the daemon's listen line and echo its URL.
+schedd_url() {
+    for _ in $(seq 100); do
+        addr="$(sed -n 's/^schedd: listening on //p' "$1" | head -n 1)"
+        if [ -n "$addr" ]; then echo "http://$addr"; return 0; fi
+        sleep 0.1
+    done
+    echo "schedd never printed its listen line" >&2
+    return 1
+}
+# Phase 1: a cold daemon populates the cache file while every response
+# is proven byte-identical to a local cache-disabled reference engine.
+"$SCHEDD_BIN" -addr 127.0.0.1:0 -cachefile "$SERVE_CACHE" > "$SCHEDD_LOG" 2>&1 &
+SCHEDD_PID=$!
+SCHEDD_URL="$(schedd_url "$SCHEDD_LOG")"
+"$SBENCH_BIN" -serve "$SCHEDD_URL" -model super2 -serverate 60 -serveduration 2s \
+    -servecheck -json "$FRESH_JSON" > /dev/null
+sleep 1 # let the disk tier's background flusher drain
+# Phase 2: kill -9 with requests in flight. The interrupted generator
+# is expected to fail; what matters is the daemon dies mid-load.
+"$SBENCH_BIN" -serve "$SCHEDD_URL" -model super2 -serverate 60 -serveduration 5s \
+    -json /dev/null > /dev/null 2>&1 &
+LOAD_PID=$!
+sleep 1
+kill -9 "$SCHEDD_PID"
+wait "$LOAD_PID" 2> /dev/null || true
+# Phase 3: a restart on the same file must serve warm — hit rate ≥ 0.9
+# with blocks straight from the persistent tier — and byte-identical.
+: > "$SCHEDD_LOG"
+"$SCHEDD_BIN" -addr 127.0.0.1:0 -cachefile "$SERVE_CACHE" > "$SCHEDD_LOG" 2>&1 &
+SCHEDD_PID=$!
+SCHEDD_URL="$(schedd_url "$SCHEDD_LOG")"
+"$SBENCH_BIN" -serve "$SCHEDD_URL" -model super2 -serverate 60 -serveduration 2s \
+    -servewarm 0.9 -servecheck -json "$FRESH_JSON" > /dev/null
+# Phase 4: SIGTERM must drain gracefully and exit 0.
+kill -TERM "$SCHEDD_PID"
+wait "$SCHEDD_PID"
+SCHEDD_PID=""
+rm -f "$SCHEDD_BIN" "$SBENCH_BIN" "$SERVE_CACHE" "$SCHEDD_LOG"
+
 echo "== perf-regression gate"
 go run ./cmd/schedbench -diffselftest
-FRESH_JSON="$(mktemp)"
 go run ./cmd/schedbench -parallel -json "$FRESH_JSON" > /dev/null
 go run ./cmd/schedbench -stream -insts 2e6 -json "$FRESH_JSON" > /dev/null
 go run ./cmd/schedbench -diff "$FRESH_JSON"
